@@ -1,0 +1,539 @@
+(* The benchmark harness: regenerates every figure of the paper's evaluation
+   and adds ablation microbenchmarks for the design choices DESIGN.md calls
+   out.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, CI-friendly scale
+     dune exec bench/main.exe fig1            # Figure 1 (divergence without OT)
+     dune exec bench/main.exe fig2            # Figure 2 (convergence with OT)
+     dune exec bench/main.exe fig3 [--full]   # Figure 3 (4 setups vs workload l)
+     dune exec bench/main.exe overhead        # Section III constant-overhead study
+     dune exec bench/main.exe scale           # time vs host count (Section VI)
+     dune exec bench/main.exe copy            # persistent vs deep copy ablation
+     dune exec bench/main.exe dist            # distributed-runtime overhead
+     dune exec bench/main.exe coop            # threaded vs cooperative scheduler
+     dune exec bench/main.exe topology        # network shapes (full/ring/star/grid)
+     dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
+     dune exec bench/main.exe micro           # bechamel component microbenches
+
+   Absolute times differ from the paper's i7-3520M testbed; the *shapes* are
+   what EXPERIMENTS.md compares: linearity in l, a workload-independent
+   Spawn/Merge overhead whose relative cost shrinks with l, and the
+   deterministic variant running at or below the non-deterministic one. *)
+
+module W = Sm_sim.Workload
+
+let section title =
+  Format.printf "@.=== %s ===@." title;
+  Format.print_flush ()
+
+(* --- Figures 1 and 2 ------------------------------------------------------ *)
+
+module Fig_list = Sm_ot.Op_list.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let pp ppf s = Format.fprintf ppf "%s" s
+end)
+
+let pp_slist ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_string)
+    l
+
+let fig1 () =
+  section "figure 1: concurrent del(2) and ins(0,d) WITHOUT transformation";
+  let base = [ "a"; "b"; "c" ] in
+  let op_a = Fig_list.del 2 and op_b = Fig_list.ins 0 "d" in
+  let site_a = Fig_list.apply (Fig_list.apply base op_a) op_b in
+  let site_b = Fig_list.apply (Fig_list.apply base op_b) op_a in
+  Format.printf "site A applies del(2) then ins(0,d): %a@." pp_slist site_a;
+  Format.printf "site B applies ins(0,d) then del(2): %a@." pp_slist site_b;
+  Format.printf "paper: sites diverge ([d,a,b] vs [d,a,c]) -> %s@."
+    (if site_a <> site_b then "reproduced" else "NOT reproduced")
+
+let fig2 () =
+  section "figure 2: the same operations WITH operational transformation";
+  let base = [ "a"; "b"; "c" ] in
+  let op_a = Fig_list.del 2 and op_b = Fig_list.ins 0 "d" in
+  let open Sm_ot in
+  let a' = Fig_list.transform op_a ~against:op_b ~tie:(Side.uniform Side.Applied) in
+  let b' = Fig_list.transform op_b ~against:op_a ~tie:(Side.uniform Side.Incoming) in
+  let site_a = List.fold_left Fig_list.apply (Fig_list.apply base op_a) b' in
+  let site_b = List.fold_left Fig_list.apply (Fig_list.apply base op_b) a' in
+  Format.printf "A's del(2) transformed against ins(0,d): %a@."
+    (Format.pp_print_list Fig_list.pp_op) a';
+  Format.printf "site A: %a,  site B: %a@." pp_slist site_a pp_slist site_b;
+  Format.printf "paper: both converge to [d,a,b] -> %s@."
+    (if site_a = site_b && site_a = [ "d"; "a"; "b" ] then "reproduced" else "NOT reproduced")
+
+(* --- Figure 3 -------------------------------------------------------------- *)
+
+type setup =
+  { label : string
+  ; run : W.config -> W.report
+  ; mode : W.mode
+  }
+
+(* One long-lived executor for every Spawn/Merge run in this process, so
+   measurements exclude the fixed ~50 ms domain-teardown artifact (see
+   Runtime.run) and reflect the algorithmic overhead the paper discusses. *)
+let executor = lazy (Sm_core.Executor.create ())
+
+let sm_run c = Sm_sim.Sim_spawnmerge.run ~executor:(Lazy.force executor) c
+
+let setups =
+  [ { label = "Conventional (non-determ.)"; run = Sm_sim.Sim_conventional.run; mode = W.Hash_destination }
+  ; { label = "Conventional (determ.)"; run = Sm_sim.Sim_conventional.run; mode = W.Ring_destination }
+  ; { label = "Spawn Merge (non-determ.)"; run = sm_run; mode = W.Hash_destination }
+  ; { label = "Spawn Merge (determ.)"; run = sm_run; mode = W.Ring_destination }
+  ]
+
+(* Least-squares fit of time(ms) against load, for the shape analysis. *)
+let linear_fit points =
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if denom = 0.0 then (0.0, sy /. n)
+  else
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. n in
+    (slope, intercept)
+
+let fig3 ?(reps = 2) ~full () =
+  let base, loads =
+    if full then
+      ( { W.default with W.messages = 100; ttl = 100; hosts = 20 }
+      , [ 0; 1000; 2500; 5000; 7500; 10000 ] )
+    else
+      ({ W.default with W.messages = 20; ttl = 20; hosts = 20 }, [ 0; 1000; 2000; 3000; 4000; 5000 ])
+  in
+  section
+    (Printf.sprintf
+       "figure 3: simulation time vs host workload l  (%d hosts, %d messages, ttl %d%s)"
+       base.W.hosts base.W.messages base.W.ttl
+       (if full then ", PAPER SCALE" else ", scaled down; use `fig3 --full` for paper scale"));
+  Format.printf "@.%-10s" "load l";
+  List.iter (fun s -> Format.printf "%28s" s.label) setups;
+  Format.printf "@.";
+  let series = Hashtbl.create 4 in
+  List.iter
+    (fun load ->
+      Format.printf "%-10d" load;
+      List.iter
+        (fun s ->
+          let cfg = { base with W.load; mode = s.mode } in
+          (* min of [reps] runs: scheduling noise only ever adds time *)
+          let ms =
+            List.fold_left
+              (fun acc _ -> Float.min acc ((s.run cfg).W.elapsed_s *. 1000.0))
+              infinity
+              (List.init (max 1 reps) Fun.id)
+          in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt series s.label) in
+          Hashtbl.replace series s.label ((float_of_int load, ms) :: prev);
+          Format.printf "%26.1fms" ms;
+          Format.print_flush ())
+        setups;
+      Format.printf "@.")
+    loads;
+  (* shape analysis vs the paper's claims *)
+  Format.printf "@.-- shape analysis (paper expectations in brackets) --@.";
+  let fits =
+    List.map
+      (fun s ->
+        let slope, intercept = linear_fit (Hashtbl.find series s.label) in
+        Format.printf "%-28s time ~ %.4f ms/kiter * l + %.1f ms@." s.label (slope *. 1000.0)
+          intercept;
+        (s.label, slope, intercept))
+      setups
+  in
+  let find l = List.find (fun (lbl, _, _) -> lbl = l) fits in
+  let _, s_cn, i_cn = find "Conventional (non-determ.)" in
+  let _, _s_cd, _i_cd = find "Conventional (determ.)" in
+  let _, s_sn, i_sn = find "Spawn Merge (non-determ.)" in
+  let _, s_sd, i_sd = find "Spawn Merge (determ.)" in
+  Format.printf "@.[all rise linearly in l]                 slopes: %s@."
+    (if List.for_all (fun (_, s, _) -> s > 0.0) fits then "all positive, linear fit above" else "UNEXPECTED");
+  Format.printf "[Spawn/Merge pays a ~constant overhead]  intercept gap SM - conventional: %+.1f ms (non-det), slope ratio %.2fx@."
+    (i_sn -. i_cn) (s_sn /. s_cn);
+  let at l = List.map (fun (lbl, s, i) -> (lbl, (s *. l) +. i)) fits in
+  let rel l =
+    let v = at l in
+    let get lbl = List.assoc lbl v in
+    (get "Spawn Merge (non-determ.)" -. get "Conventional (non-determ.)")
+    /. get "Conventional (non-determ.)"
+    *. 100.0
+  in
+  let lo = float_of_int (List.nth loads 1) and hi = float_of_int (List.nth loads (List.length loads - 1)) in
+  Format.printf "[overhead %% shrinks as l grows (38%% -> 7%%)] overhead at l=%.0f: %+.0f%%, at l=%.0f: %+.0f%%@."
+    lo (rel lo) hi (rel hi);
+  Format.printf "[SM determ. <= SM non-determ. (1-4%% gap)]  measured gap: %+.1f%% (fitted, at l=%.0f)@."
+    (let v = at hi in
+     (List.assoc "Spawn Merge (non-determ.)" v -. List.assoc "Spawn Merge (determ.)" v)
+     /. List.assoc "Spawn Merge (non-determ.)" v *. 100.0)
+    hi;
+  ignore (s_sd, i_sd)
+
+(* --- Section III: the constant overhead, dissected ------------------------ *)
+
+let overhead () =
+  section "overhead: Spawn/Merge cost at zero workload (Section III's ~400 ms analysis)";
+  Format.printf "@.The paper attributes the constant gap to per-spawn copying (20 tasks x 20@.";
+  Format.printf "queues).  Our copies are persistent (copy-on-write for free, the paper's@.";
+  Format.printf "future-work optimization), so the residual overhead is per-cycle merging.@.@.";
+  Format.printf "%-8s %-18s %-18s %-12s %s@." "hosts" "conventional" "spawn-merge" "gap" "(l = 0, messages = hosts, ttl = 10)";
+  List.iter
+    (fun hosts ->
+      let cfg =
+        { W.hosts; messages = hosts; ttl = 10; load = 0; mode = W.Hash_destination; topology = W.Full; seed = 5L }
+      in
+      let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
+      let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      Format.printf "%-8d %15.1f ms %15.1f ms %+9.1f ms@." hosts conv sm (sm -. conv);
+      Format.print_flush ())
+    [ 5; 10; 20; 40 ];
+  Format.printf "@.%-8s %-18s %-18s %-12s %s@." "load l" "conventional" "spawn-merge" "gap" "(20 hosts: the gap is ~independent of l)";
+  List.iter
+    (fun load ->
+      let cfg = { W.hosts = 20; messages = 20; ttl = 10; load; mode = W.Hash_destination; topology = W.Full; seed = 5L } in
+      let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
+      let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      Format.printf "%-8d %15.1f ms %15.1f ms %+9.1f ms@." load conv sm (sm -. conv);
+      Format.print_flush ())
+    [ 0; 1500; 3000 ]
+
+(* --- Section IV.A: what the semaphore construction costs ------------------- *)
+
+let semaphore_bench () =
+  section "semaphore: Spawn/Merge semaphore vs native mutex (Section IV.A: \"inefficient and cumbersome\", but equivalent)";
+  let rounds = 50 in
+  let workers = 3 in
+  let t0 = Unix.gettimeofday () in
+  let worker (ops : Sm_core.Semaphore.ops) =
+    for _ = 1 to rounds do
+      ops.acquire 0;
+      ops.release 0
+    done
+  in
+  (match Sm_core.Semaphore.run_system ~executor:(Lazy.force executor) ~values:[| 1 |] (List.init workers (fun _ -> worker)) with
+  | Sm_core.Semaphore.Completed -> ()
+  | Sm_core.Semaphore.All_blocked -> failwith "unexpected block");
+  let sm_s = Unix.gettimeofday () -. t0 in
+  let m = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let native () =
+    for _ = 1 to rounds do
+      Mutex.lock m;
+      Mutex.unlock m
+    done
+  in
+  let threads = List.init workers (fun _ -> Thread.create native ()) in
+  List.iter Thread.join threads;
+  let native_s = Unix.gettimeofday () -. t0 in
+  let total = rounds * workers in
+  Format.printf "%d acquire/release pairs across %d workers:@." total workers;
+  Format.printf "  spawn-merge semaphore: %8.1f ms  (%7.0f pairs/s)@." (sm_s *. 1000.0)
+    (float_of_int total /. sm_s);
+  Format.printf "  native mutex:          %8.3f ms  (%7.0f pairs/s)@." (native_s *. 1000.0)
+    (float_of_int total /. native_s);
+  Format.printf "equivalence costs ~%.0fx -- the construction is a proof, not a fast path.@."
+    (sm_s /. native_s)
+
+(* --- scalability: time vs host count (Section VI future work) -------------- *)
+
+let scale () =
+  section "scale: simulation time vs host count at fixed per-host workload";
+  Format.printf "@.%-8s %-10s %-18s %-18s %-10s@." "hosts" "hops" "conventional" "spawn-merge" "SM/conv";
+  List.iter
+    (fun hosts ->
+      (* keep work per host constant: messages = hosts, so hops = hosts*ttl *)
+      let cfg =
+        { W.hosts; messages = hosts; ttl = 15; load = 400; mode = W.Hash_destination; topology = W.Full; seed = 11L }
+      in
+      let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
+      let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      Format.printf "%-8d %-10d %15.1f ms %15.1f ms %8.2fx@." hosts (W.total_hops cfg) conv sm
+        (sm /. conv);
+      Format.print_flush ())
+    [ 4; 8; 16; 32; 64 ];
+  Format.printf "@.(the ratio grows with hosts: per-cycle merging is O(hosts^2) transform@.";
+  Format.printf " pairs while useful work grows O(hosts) -- the scalability limit Section VI@.";
+  Format.printf " wants to attack with faster merge functions)@."
+
+(* --- ablation: persistent copy vs the paper's deep copy -------------------- *)
+
+let copy_ablation () =
+  section "ablation: workspace copy cost, persistent (ours) vs deep (paper's PoC)";
+  let module Mq = Sm_mergeable.Mqueue.Make (struct
+    type t = string
+
+    let equal = String.equal
+    let pp ppf s = Format.fprintf ppf "%S" s
+  end) in
+  Format.printf "@.%-28s %-16s %-16s %-10s@." "workspace" "persistent copy" "deep copy" "ratio";
+  List.iter
+    (fun (n_queues, n_items) ->
+      let ws = Sm_mergeable.Workspace.create () in
+      let payloads = List.init n_items (fun i -> String.make 40 (Char.chr (65 + (i mod 26)))) in
+      for i = 0 to n_queues - 1 do
+        Sm_mergeable.Workspace.init ws (Mq.key ~name:(Printf.sprintf "q%d" i)) payloads
+      done;
+      let time_n n f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to n do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e6
+      in
+      let persistent = time_n 2000 (fun () -> Sm_mergeable.Workspace.copy ws) in
+      (* what the paper's unoptimized framework did: structural deep copy of
+         every value (simulated via marshalling, a faithful full copy) *)
+      let deep =
+        time_n 200 (fun () ->
+            (Marshal.from_string (Marshal.to_string payloads []) 0 : string list))
+        *. float_of_int n_queues
+      in
+      Format.printf "%2d queues x %3d msgs         %10.1f us    %10.1f us  %8.0fx@." n_queues
+        n_items persistent deep (deep /. persistent);
+      Format.print_flush ())
+    [ (5, 20); (20, 20); (20, 100); (40, 100) ];
+  Format.printf "@.(the paper measured ~400 ms constant overhead from 20 tasks each deep-@.";
+  Format.printf " copying 20 queues; persistent states make the same copy O(#values),@.";
+  Format.printf " which is why our Figure-3 intercept is an order of magnitude smaller)@."
+
+(* --- distributed runtime overhead (Section VI future work) ----------------- *)
+
+let dist_registry = lazy (
+  let registry = Sm_dist.Registry.create () in
+  let k = Sm_dist.Registry.value registry ~name:"bench-counter" (module Sm_dist.Codable.Counter) in
+  let t_add =
+    Sm_dist.Registry.task registry ~name:"add" (fun ctx ->
+        Sm_dist.Registry.update ctx k (Sm_ot.Op_counter.add 1))
+  in
+  let t_sync =
+    Sm_dist.Registry.task registry ~name:"sync-n" (fun ctx ->
+        for _ = 1 to int_of_string (Sm_dist.Registry.argument ctx) do
+          Sm_dist.Registry.update ctx k (Sm_ot.Op_counter.add 1);
+          ignore (Sm_dist.Registry.sync ctx)
+        done)
+  in
+  (registry, k, t_add, t_sync))
+
+let dist_bench () =
+  section "dist: remote (simulated MPI) spawn/merge overhead vs local runtime";
+  let registry, k, t_add, t_sync = Lazy.force dist_registry in
+  let kc = Sm_mergeable.Mcounter.key ~name:"local-bench-counter" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let tasks = 100 in
+  let local_ms =
+    time (fun () ->
+        let v =
+          Sm_core.Runtime.run ~executor:(Lazy.force executor) (fun ctx ->
+              Sm_mergeable.Workspace.init (Sm_core.Runtime.workspace ctx) kc 0;
+              for _ = 1 to tasks do
+                ignore
+                  (Sm_core.Runtime.spawn ctx (fun c ->
+                       Sm_mergeable.Mcounter.incr (Sm_core.Runtime.workspace c) kc))
+              done;
+              Sm_core.Runtime.merge_all ctx;
+              Sm_mergeable.Mcounter.get (Sm_core.Runtime.workspace ctx) kc)
+        in
+        assert (v = tasks))
+  in
+  let cluster = Sm_dist.Coordinator.cluster ~nodes:2 registry in
+  let remote_ms =
+    time (fun () ->
+        let v =
+          Sm_dist.Coordinator.run cluster (fun ctx ->
+              let ws = Sm_dist.Coordinator.workspace ctx in
+              Sm_mergeable.Workspace.init ws (Sm_dist.Registry.workspace_key k) 0;
+              for _ = 1 to tasks do
+                ignore (Sm_dist.Coordinator.spawn ctx t_add ~argument:"")
+              done;
+              Sm_dist.Coordinator.merge_all ctx;
+              Sm_mergeable.Workspace.read ws (Sm_dist.Registry.workspace_key k))
+        in
+        assert (v = tasks))
+  in
+  let rounds = 200 in
+  let sync_ms =
+    time (fun () ->
+        Sm_dist.Coordinator.run cluster (fun ctx ->
+            let ws = Sm_dist.Coordinator.workspace ctx in
+            Sm_mergeable.Workspace.init ws (Sm_dist.Registry.workspace_key k) 0;
+            ignore (Sm_dist.Coordinator.spawn ctx t_sync ~argument:(string_of_int rounds));
+            let rec drain () =
+              if Sm_dist.Coordinator.live_tasks ctx > 0 then begin
+                Sm_dist.Coordinator.merge_all ctx;
+                drain ()
+              end
+            in
+            drain ()))
+  in
+  Sm_dist.Coordinator.shutdown cluster;
+  Format.printf "%d one-shot tasks, local runtime:     %8.1f ms  (%6.0f us/task)@." tasks local_ms
+    (local_ms *. 1000.0 /. float_of_int tasks);
+  Format.printf "%d one-shot tasks, 2-node cluster:    %8.1f ms  (%6.0f us/task)@." tasks remote_ms
+    (remote_ms *. 1000.0 /. float_of_int tasks);
+  Format.printf "%d sync roundtrips over the wire:     %8.1f ms  (%6.0f us/sync)@." rounds sync_ms
+    (sync_ms *. 1000.0 /. float_of_int rounds);
+  Format.printf "(the gap is serialization + channel hops -- the cost of rank isolation)@."
+
+(* --- topologies: the workload under different network shapes --------------- *)
+
+let topology_bench () =
+  section "topology: the simulation across network shapes (16 hosts, load 500)";
+  Format.printf "@.%-8s %-18s %-18s %-18s@." "shape" "conventional" "spawn-merge" "order digest";
+  List.iter
+    (fun (name, topology) ->
+      let cfg =
+        { W.hosts = 16; messages = 16; ttl = 12; load = 500; mode = W.Hash_destination; topology
+        ; seed = 9L }
+      in
+      let conv = Sm_sim.Sim_conventional.run cfg in
+      let sm = sm_run cfg in
+      Format.printf "%-8s %15.1f ms %15.1f ms   %s%s@." name (conv.W.elapsed_s *. 1000.0)
+        (sm.W.elapsed_s *. 1000.0) sm.W.order_digest
+        (if conv.W.event_digest = sm.W.event_digest then "" else "  TRAJECTORY MISMATCH");
+      Format.print_flush ())
+    [ ("full", W.Full); ("ring", W.Ring_topology); ("star", W.Star); ("grid", W.Grid) ]
+
+(* --- schedulers: threaded vs cooperative on the same simulation ------------ *)
+
+let coop_bench () =
+  section "coop: the Listing-4 simulation under both schedulers";
+  Format.printf "@.%-8s %-18s %-18s %-12s@." "load l" "threaded" "cooperative" "digests";
+  List.iter
+    (fun load ->
+      let cfg = { W.hosts = 20; messages = 20; ttl = 15; load; mode = W.Hash_destination; topology = W.Full; seed = 3L } in
+      let threaded = sm_run cfg in
+      let coop = Sm_sim.Sim_spawnmerge.run_cooperative cfg in
+      Format.printf "%-8d %15.1f ms %15.1f ms %-12s@." load (threaded.W.elapsed_s *. 1000.0)
+        (coop.W.elapsed_s *. 1000.0)
+        (if threaded.W.order_digest = coop.W.order_digest then "identical" else "DIFFER!");
+      Format.print_flush ())
+    [ 0; 1000; 2500 ];
+  Format.printf "@.(same results byte for byte; the gap at l=0 is thread parking/waking --@.";
+  Format.printf " the cooperative scheduler replaces it with effect switches)@."
+
+(* --- component microbenches (bechamel), one Test.make per component -------- *)
+
+let micro ~quick () =
+  section "micro: component costs (bechamel, OLS ns/run)";
+  let open Bechamel in
+  let module Mq = Sm_mergeable.Mqueue.Make (struct
+    type t = int
+
+    let equal = Int.equal
+    let pp = Format.pp_print_int
+  end) in
+  let module L = Fig_list in
+  let module C = Sm_ot.Control.Make (L) in
+  let ws_with_queues n_queues n_items =
+    let ws = Sm_mergeable.Workspace.create () in
+    let keys =
+      Array.init n_queues (fun i ->
+          let k = Mq.key ~name:(Printf.sprintf "q%d" i) in
+          Sm_mergeable.Workspace.init ws k (List.init n_items (fun j -> j));
+          k)
+    in
+    (ws, keys)
+  in
+  let ws20, keys20 = ws_with_queues 20 20 in
+  let seq_a = List.init 20 (fun i -> L.ins i "x") in
+  let seq_b = List.init 20 (fun i -> if i mod 2 = 0 then L.ins i "y" else L.del 0) in
+  let payload = String.make 20 'p' in
+  let tests =
+    Test.make_grouped ~name:"components"
+      [ Test.make ~name:"sha1 digest (20B)" (Staged.stage (fun () -> ignore (Sm_util.Sha1.digest payload)))
+      ; Test.make ~name:"list IT (one pair)"
+          (Staged.stage (fun () ->
+               ignore
+                 (L.transform (L.ins 3 "a") ~against:(L.del 1)
+                    ~tie:Sm_ot.Side.serialization)))
+      ; Test.make ~name:"control cross (20x20 ops)"
+          (Staged.stage (fun () ->
+               ignore (C.cross ~incoming:seq_a ~applied:seq_b ~tie:Sm_ot.Side.serialization)))
+      ; Test.make ~name:"workspace copy (20 queues x 20)"
+          (Staged.stage (fun () -> ignore (Sm_mergeable.Workspace.copy ws20)))
+      ; Test.make ~name:"merge_child (5 ops vs 5 ops)"
+          (Staged.stage (fun () ->
+               let base = Sm_mergeable.Workspace.snapshot ws20 in
+               let child = Sm_mergeable.Workspace.copy ws20 in
+               for i = 0 to 4 do
+                 Mq.push child keys20.(i) 99
+               done;
+               Sm_mergeable.Workspace.merge_child ~parent:ws20 ~child ~base))
+      ; Test.make ~name:"spawn+merge roundtrip (fresh executor)"
+          (Staged.stage (fun () ->
+               Sm_core.Runtime.run (fun ctx ->
+                   ignore (Sm_core.Runtime.spawn ctx (fun _ -> ()));
+                   Sm_core.Runtime.merge_all ctx)))
+      ; Test.make ~name:"spawn+merge roundtrip (reused executor)"
+          (Staged.stage (fun () ->
+               Sm_core.Runtime.run ~executor:(Lazy.force executor) (fun ctx ->
+                   ignore (Sm_core.Runtime.spawn ctx (fun _ -> ()));
+                   Sm_core.Runtime.merge_all ctx)))
+      ; Test.make ~name:"spawn+merge roundtrip (cooperative)"
+          (Staged.stage (fun () ->
+               Sm_core.Runtime.Coop.run (fun ctx ->
+                   ignore (Sm_core.Runtime.spawn ctx (fun _ -> ()));
+                   Sm_core.Runtime.merge_all ctx)))
+      ]
+  in
+  let quota = if quick then 0.25 else 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns = match Analyze.OLS.estimates est with Some (e :: _) -> e | _ -> nan in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
+      Format.printf "%-45s %12.1f ns/run   (r2 %.3f)@." name ns r2)
+    (List.sort compare rows)
+
+(* --- driver ----------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  match args with
+  | _ :: "fig1" :: _ -> fig1 ()
+  | _ :: "fig2" :: _ -> fig2 ()
+  | _ :: "fig3" :: _ ->
+    let full = has "--full" in
+    fig3 ~reps:(if full then 1 else 2) ~full ()
+  | _ :: "overhead" :: _ -> overhead ()
+  | _ :: "scale" :: _ -> scale ()
+  | _ :: "copy" :: _ -> copy_ablation ()
+  | _ :: "dist" :: _ -> dist_bench ()
+  | _ :: "coop" :: _ -> coop_bench ()
+  | _ :: "topology" :: _ -> topology_bench ()
+  | _ :: "semaphore" :: _ -> semaphore_bench ()
+  | _ :: "micro" :: _ -> micro ~quick:false ()
+  | _ :: "all" :: _ | [ _ ] ->
+    fig1 ();
+    fig2 ();
+    fig3 ~full:false ();
+    overhead ();
+    scale ();
+    copy_ablation ();
+    dist_bench ();
+    coop_bench ();
+    topology_bench ();
+    semaphore_bench ();
+    micro ~quick:true ();
+    Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@."
+  | _ ->
+    prerr_endline "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|micro|all]";
+    exit 2

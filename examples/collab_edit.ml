@@ -1,0 +1,86 @@
+(* Operational transformation up close — the paper's Figures 1 and 2, then a
+   three-author collaborative edit on a mergeable text buffer.
+
+   Figure 1: two sites apply each other's raw operations and diverge.
+   Figure 2: the same operations, transformed, converge to [d; a; b].
+   Finally three tasks edit one document concurrently; MergeAll serializes
+   their edits deterministically.
+
+     dune exec examples/collab_edit.exe
+*)
+
+module Side = Sm_ot.Side
+
+module L = Sm_ot.Op_list.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let pp ppf s = Format.fprintf ppf "%s" s
+end)
+
+let pp_list ppf l =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_string)
+    l
+
+let figures () =
+  let base = [ "a"; "b"; "c" ] in
+  let op_a = L.del 2 (* process A deletes "c" *) in
+  let op_b = L.ins 0 "d" (* process B inserts "d" at the front *) in
+  Format.printf "base list: %a,  A does del(2),  B does ins(0, d)@." pp_list base;
+
+  (* Figure 1: no transformation *)
+  let site_a = L.apply (L.apply base op_a) op_b in
+  let site_b = L.apply (L.apply base op_b) op_a in
+  Format.printf "@.without OT (figure 1):@.";
+  Format.printf "  site A: %a@." pp_list site_a;
+  Format.printf "  site B: %a   <- diverged!@." pp_list site_b;
+
+  (* Figure 2: transform the remote operation before applying it *)
+  let b_for_a = L.transform op_b ~against:op_a ~tie:(Side.uniform Side.Incoming) in
+  let a_for_b = L.transform op_a ~against:op_b ~tie:(Side.uniform Side.Applied) in
+  let site_a = List.fold_left L.apply (L.apply base op_a) b_for_a in
+  let site_b = List.fold_left L.apply (L.apply base op_b) a_for_b in
+  Format.printf "@.with OT (figure 2):@.";
+  Format.printf "  A's del(2) transformed against B's insert becomes %a@."
+    (Format.pp_print_list L.pp_op) a_for_b;
+  Format.printf "  site A: %a@." pp_list site_a;
+  Format.printf "  site B: %a   <- converged@." pp_list site_b
+
+(* --- concurrent text editing over the runtime ----------------------------- *)
+
+module R = Sm_core.Runtime
+module Ws = Sm_mergeable.Workspace
+module Mtext = Sm_mergeable.Mtext
+
+let doc = Mtext.key ~name:"document"
+
+let edit_session () =
+  let final =
+    R.run (fun ctx ->
+        let ws = R.workspace ctx in
+        Ws.init ws doc "The quick fox jumps over the dog.";
+        (* three authors edit concurrently on their own copies *)
+        ignore
+          (R.spawn ctx (fun author ->
+               (* insert "brown " before "fox" *)
+               Mtext.insert (R.workspace author) doc 10 "brown "));
+        ignore
+          (R.spawn ctx (fun author ->
+               (* insert "lazy " before "dog" *)
+               Mtext.insert (R.workspace author) doc 29 "lazy "));
+        ignore
+          (R.spawn ctx (fun author ->
+               (* delete the trailing period and shout instead *)
+               let ws = R.workspace author in
+               Mtext.delete ws doc ~pos:32 ~len:1;
+               Mtext.append ws doc "!"));
+        R.merge_all ctx;
+        Mtext.get ws doc)
+  in
+  Format.printf "@.three concurrent authors, one merge:@.  %S@." final;
+  print_endline "  (same result on every run; offsets were transformed, not locked)"
+
+let () =
+  figures ();
+  edit_session ()

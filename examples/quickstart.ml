@@ -1,0 +1,44 @@
+(* Quickstart — the paper's Listing 1.
+
+   A parent task and a spawned child task both append to the same logical
+   list without any locking: each works on its own copy, and
+   MergeAllFromSet reconciles the copies with operational transformation.
+   The output is [1; 2; 3; 4; 5] on every run, on any number of cores.
+
+     dune exec examples/quickstart.exe
+*)
+
+module R = Sm_core.Runtime
+module Ws = Sm_mergeable.Workspace
+
+module Mlist = Sm_mergeable.Mlist.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end)
+
+let list = Mlist.key ~name:"list"
+
+(* func f(l List) { l.Append(5) } *)
+let f child = Mlist.append (R.workspace child) list 5
+
+let () =
+  R.run (fun ctx ->
+      let ws = R.workspace ctx in
+      (* list := NewList(1,2,3) *)
+      Ws.init ws list [ 1; 2; 3 ];
+      (* t := Spawn(f, list) *)
+      let t = R.spawn ctx f in
+      (* list.Append(4) *)
+      Mlist.append ws list 4;
+      (* MergeAllFromSet(t) *)
+      R.merge_all_from_set ctx [ t ];
+      (* Print(list) *)
+      Format.printf "merged list: [%a]@."
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Format.pp_print_int)
+        (Mlist.get ws list));
+  (* The mutex-based version of this program (paper Listing 2) can print
+     [1;2;3;5;4] or [1;2;3;4;5] depending on scheduler timing.  Here the
+     merge order is part of the program, so the answer never changes. *)
+  print_endline "deterministic: always [1; 2; 3; 4; 5]"

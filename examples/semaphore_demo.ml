@@ -1,0 +1,84 @@
+(* Semaphores from Spawn and Merge — the paper's Section IV.A construction.
+
+   Three producers and two consumers share a bounded buffer guarded by two
+   counting semaphores (free slots, filled slots) plus a binary mutex — the
+   textbook arrangement, except no OS synchronization primitive is used:
+   the semaphores are mergeable lists managed by the Spawn/Merge protocol.
+
+   The second half deliberately deadlocks two workers (opposite acquisition
+   order) and shows the property Section IV.B derives: the Spawn/Merge
+   simulation of a deadlocked semaphore system cannot deadlock — the
+   manager observes that every worker left the merge set and reports the
+   blocked state instead of hanging.
+
+     dune exec examples/semaphore_demo.exe
+*)
+
+module S = Sm_core.Semaphore
+
+(* semaphore indices *)
+let free = 0 (* counting: empty buffer slots *)
+let filled = 1 (* counting: occupied buffer slots *)
+let mutex = 2 (* binary: protects the buffer *)
+
+let () =
+  let capacity = 3 in
+  let per_producer = 4 in
+  (* The buffer itself is outside the framework on purpose: the semaphores
+     must provide all the mutual exclusion, exactly like the paper's
+     equivalence argument assumes. *)
+  let buffer = Queue.create () in
+  let consumed = Atomic.make 0 in
+  let produced_total = 3 * per_producer in
+  let producer id (ops : S.ops) =
+    for i = 1 to per_producer do
+      ops.acquire free;
+      ops.acquire mutex;
+      Queue.push (Printf.sprintf "item %d from producer %d" i id) buffer;
+      ops.release mutex;
+      ops.release filled
+    done
+  in
+  let consumer budget (ops : S.ops) =
+    for _ = 1 to budget do
+      ops.acquire filled;
+      ops.acquire mutex;
+      ignore (Queue.pop buffer);
+      ignore (Atomic.fetch_and_add consumed 1);
+      ops.release mutex;
+      ops.release free
+    done
+  in
+  Format.printf "bounded buffer (capacity %d) with Spawn/Merge semaphores...@." capacity;
+  let outcome =
+    S.run_system
+      ~values:[| capacity; 0; 1 |]
+      [ producer 1; producer 2; producer 3; consumer 6; consumer 6 ]
+  in
+  (match outcome with
+  | S.Completed ->
+    Format.printf "completed: %d items produced, %d consumed, buffer leftover %d@."
+      produced_total (Atomic.get consumed) (Queue.length buffer)
+  | S.All_blocked -> print_endline "unexpected: blocked");
+
+  print_endline "";
+  print_endline "now the classic deadlock: two workers acquire two locks in opposite order";
+  let w1 (ops : S.ops) =
+    ops.acquire 0;
+    Thread.delay 0.01;
+    ops.acquire 1;
+    ops.release 1;
+    ops.release 0
+  in
+  let w2 (ops : S.ops) =
+    ops.acquire 1;
+    Thread.delay 0.01;
+    ops.acquire 0;
+    ops.release 0;
+    ops.release 1
+  in
+  (match S.run_system ~values:[| 1; 1 |] [ w1; w2 ] with
+  | S.Completed -> print_endline "lucky schedule: both finished"
+  | S.All_blocked ->
+    print_endline "blocked state detected and reported -- no deadlock, no hang:";
+    print_endline "the manager's MergeAnyFromSet saw an empty set and returned immediately")

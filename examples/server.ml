@@ -1,0 +1,130 @@
+(* Server software — the paper's Listing 3.
+
+   The root task owns the server state (a per-client request map and a
+   served-requests counter).  A spawned [accept] task blocks on incoming
+   connections and *clones* a sibling task per connection; each connection
+   task syncs fresh data, handles requests, and merges its changes back
+   after every request.  The root loops MergeAny — explicitly
+   non-deterministic, because client arrival order is non-deterministic —
+   yet the final state is the same every run, because each client's effects
+   are deterministic and commute under OT.
+
+   A validation condition on the merges rejects any connection that drops
+   the served counter (a corrupted request), demonstrating the rollback
+   path: the offending connection's Sync fails, it reports the error on its
+   socket and aborts, and the server state is untouched.
+
+     dune exec examples/server.exe
+*)
+
+module R = Sm_core.Runtime
+module Ws = Sm_mergeable.Workspace
+module Np = Sm_sim.Netpipe
+
+module Str_elt = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf s = Format.fprintf ppf "%s" s
+end
+
+module Int_elt = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Mmap = Sm_mergeable.Mmap.Make (Str_elt) (Int_elt)
+module Mcounter = Sm_mergeable.Mcounter
+
+let requests_by_client = Mmap.key ~name:"requests-by-client"
+let served = Mcounter.key ~name:"served"
+
+(* req.doWork(data): requests are "<client> hello" or "<client> corrupt". *)
+let do_work ws request =
+  match String.split_on_char ' ' request with
+  | [ client; "hello" ] ->
+    let n = Option.value ~default:0 (Mmap.find ws requests_by_client client) in
+    Mmap.put ws requests_by_client client (n + 1);
+    Mcounter.incr ws served
+  | [ _; "corrupt" ] ->
+    (* a buggy handler: damages the shared counter; validation catches it *)
+    Mcounter.add ws served (-1000)
+  | _ -> failwith ("malformed request: " ^ request)
+
+(* func conn(socket, data) — Listing 3's per-connection task. *)
+let conn socket ctx =
+  Fun.protect ~finally:(fun () -> Np.close socket) @@ fun () ->
+  match R.sync ctx with
+  | Error _ -> ()
+  | Ok () ->
+    let rec loop () =
+      match Np.recv socket with
+      | None -> () (* connection closed by the client *)
+      | Some request -> (
+        do_work (R.workspace ctx) request;
+        match R.sync ctx with
+        | Ok () ->
+          Np.send socket "ok";
+          loop ()
+        | Error _ ->
+          Np.send socket "error: request rejected";
+          failwith "merge refused")
+    in
+    loop ()
+
+(* func accept(data) — clones one sibling per connection. *)
+let accept listener ctx =
+  let rec loop () =
+    match Np.accept listener with
+    | None -> () (* listener shut down: accept task completes *)
+    | Some socket ->
+      ignore (R.clone ctx (conn socket));
+      loop ()
+  in
+  loop ()
+
+(* A client: send [n] requests, read the replies, close. *)
+let client listener ~name ~requests () =
+  let c = Np.connect listener in
+  List.iter
+    (fun r ->
+      Np.send c (name ^ " " ^ r);
+      ignore (Np.recv c))
+    requests;
+  Np.close c
+
+let () =
+  let listener = Np.listen () in
+  R.run (fun root ->
+      let ws = R.workspace root in
+      Ws.init ws requests_by_client Mmap.Op.Key_map.empty;
+      Ws.init ws served 0;
+      ignore (R.spawn root (accept listener));
+      let clients =
+        [ Thread.create (client listener ~name:"alice" ~requests:[ "hello"; "hello"; "hello" ]) ()
+        ; Thread.create (client listener ~name:"bob" ~requests:[ "hello" ]) ()
+        ; Thread.create (client listener ~name:"mallory" ~requests:[ "corrupt"; "hello" ]) ()
+        ; Thread.create (client listener ~name:"carol" ~requests:[ "hello"; "hello" ]) ()
+        ]
+      in
+      (* shut the listener once every client is done, so accept completes *)
+      let closer =
+        Thread.create
+          (fun () ->
+            List.iter Thread.join clients;
+            Np.shutdown listener)
+          ()
+      in
+      (* for { MergeAny() } — with a post-condition guarding the counter *)
+      let validate ws = Mcounter.get ws served >= 0 in
+      let rec serve () = match R.merge_any ~validate root with Some _ -> serve () | None -> () in
+      serve ();
+      Thread.join closer;
+      Format.printf "served %d requests@." (Mcounter.get ws served);
+      List.iter
+        (fun (client, n) -> Format.printf "  %-8s %d@." client n)
+        (Mmap.bindings ws requests_by_client));
+  print_endline "note: mallory's corrupt request was rolled back by validation"

@@ -1,0 +1,22 @@
+let digest_of_run ?domains ?executor program =
+  Runtime.run ?domains ?executor (fun ctx ->
+      program ctx;
+      Runtime.merge_all ctx;
+      Sm_mergeable.Workspace.digest (Runtime.workspace ctx))
+
+let digests ?(runs = 5) ?domains ?executor program =
+  List.init runs (fun _ -> digest_of_run ?domains ?executor program)
+
+let deterministic ?runs ?domains ?executor program =
+  match digests ?runs ?domains ?executor program with
+  | [] -> true
+  | d :: rest -> List.for_all (String.equal d) rest
+
+let cross_scheduler ?(runs = 3) ?executor program =
+  let reference =
+    Runtime.Coop.run (fun ctx ->
+        program ctx;
+        Runtime.merge_all ctx;
+        Sm_mergeable.Workspace.digest (Runtime.workspace ctx))
+  in
+  List.for_all (String.equal reference) (digests ~runs ?executor program)

@@ -1,0 +1,31 @@
+(** The determinism oracle.
+
+    Runs a Spawn/Merge program repeatedly — optionally under different
+    executor widths, which perturbs real scheduling — and compares digests of
+    the root task's merged workspace.  A program restricted to deterministic
+    merges ([merge_all], [merge_all_from_set]) must digest identically every
+    time; this is the paper's core claim, and the property the test suite
+    and the evaluation's "note that using Spawn and Merge also the
+    'non-deterministic' test setup becomes deterministic" rely on.
+
+    Programs must create their workspace keys once at module level:
+    re-minting keys per run changes key identities and makes digests
+    incomparable. *)
+
+val digest_of_run : ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> string
+(** Run the program, merge all remaining children, digest the root
+    workspace. *)
+
+val digests : ?runs:int -> ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> string list
+(** [runs] (default 5) digests of independent executions. *)
+
+val deterministic : ?runs:int -> ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> bool
+(** All digests equal. *)
+
+val cross_scheduler : ?runs:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> bool
+(** The strongest oracle: the program must digest identically across
+    repeated {e threaded} runs {b and} match the {e cooperative} scheduler's
+    digest — determinism independent of scheduling technology, the paper's
+    "regardless of the number of cores" taken to its limit.  The program
+    must not block the OS thread (no [Thread.delay]) or it will stall the
+    cooperative runs. *)

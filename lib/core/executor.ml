@@ -1,0 +1,54 @@
+type t =
+  { inboxes : (unit -> unit) Sm_util.Bqueue.t array
+  ; workers : unit Domain.t array
+  ; next : int Atomic.t
+  }
+
+(* Each domain loops popping jobs and giving each its own thread; finished
+   threads are reaped opportunistically (executors may outlive many runs),
+   and on inbox close the stragglers are joined before the domain exits. *)
+let worker_loop inbox () =
+  let reap threads =
+    List.filter
+      (fun (t, finished) ->
+        if Atomic.get finished then begin
+          Thread.join t;
+          false
+        end
+        else true)
+      threads
+  in
+  let rec loop threads =
+    match Sm_util.Bqueue.pop inbox with
+    | Some job ->
+      let finished = Atomic.make false in
+      let t =
+        Thread.create (fun () -> Fun.protect ~finally:(fun () -> Atomic.set finished true) job) ()
+      in
+      loop ((t, finished) :: reap threads)
+    | None -> List.iter (fun (t, _) -> Thread.join t) threads
+  in
+  loop []
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n ->
+      if n < 1 then invalid_arg "Executor.create: domains must be >= 1";
+      n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let inboxes = Array.init n (fun _ -> Sm_util.Bqueue.create ()) in
+  let workers = Array.map (fun inbox -> Domain.spawn (worker_loop inbox)) inboxes in
+  { inboxes; workers; next = Atomic.make 0 }
+
+let submit t job =
+  let i = Atomic.fetch_and_add t.next 1 mod Array.length t.inboxes in
+  try Sm_util.Bqueue.push t.inboxes.(i) job
+  with Invalid_argument _ -> invalid_arg "Executor.submit: executor is shut down"
+
+let shutdown t =
+  Array.iter Sm_util.Bqueue.close t.inboxes;
+  Array.iter Domain.join t.workers
+
+let domain_count t = Array.length t.workers

@@ -1,0 +1,36 @@
+(** Task execution substrate: a pool of domains, one thread per task.
+
+    The paper notes "tasks may also be scheduled to be executed on a pool of
+    threads".  Two constraints shape this executor:
+
+    - Tasks block (in [Sync] and in the [Merge] family), so a task must never
+      hold a pool worker while parked — each task gets its own {e thread}.
+    - OCaml 5 parallelism comes from {e domains}, which are too heavy to give
+      one to each task (and capped by the runtime).
+
+    So the executor spawns a small fixed set of domains and creates the
+    per-task threads {e inside} them, round-robin: blocked threads park
+    without stalling their domain, and runnable threads across domains run in
+    parallel.  Determinism never depends on the schedule — that is the whole
+    point of Spawn/Merge — so the assignment policy is a pure throughput
+    knob. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to [max 1 (Domain.recommended_domain_count () - 1)]
+    (the main thread's domain does the root task's work).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Run a job on a fresh thread on the next domain.  The job must not raise
+    (task bodies are wrapped by the runtime).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, wait for every submitted job's thread, then join
+    the domains.  Callers must ensure all jobs have logically finished
+    (the Spawn/Merge tree guarantees this: a task retires only after all its
+    children have). *)
+
+val domain_count : t -> int

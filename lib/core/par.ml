@@ -1,0 +1,96 @@
+exception Worker_failure of int * exn
+
+(* Split [0..n-1] into at most [chunks] contiguous ranges. *)
+let ranges n chunks =
+  let chunks = max 1 (min chunks n) in
+  let base = n / chunks and extra = n mod chunks in
+  let rec go i start acc =
+    if i = chunks then List.rev acc
+    else
+      let len = base + if i < extra then 1 else 0 in
+      go (i + 1) (start + len) ((start, len) :: acc)
+  in
+  if n = 0 then [] else go 0 0 []
+
+(* Core fork/join: fill [slots] (one owner per index) with chunked children,
+   join deterministically, surface the lowest-index failure. *)
+let run_chunks ?(chunks = 8) ctx n ~(compute : int -> unit) =
+  let failures : (int * exn) option array = Array.make (max 1 chunks) None in
+  let handles =
+    List.mapi
+      (fun chunk_idx (start, len) ->
+        Runtime.spawn ctx (fun _child ->
+            let rec go i =
+              if i < start + len then
+                match compute i with
+                | () -> go (i + 1)
+                | exception e -> failures.(chunk_idx) <- Some (i, e)
+            in
+            go start))
+      (ranges n chunks)
+  in
+  Runtime.merge_all_from_set ctx handles;
+  Array.iter
+    (function
+      | Some (index, e) -> raise (Worker_failure (index, e))
+      | None -> ())
+    failures
+
+let mapi ?chunks ctx f xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let out = Array.make n None in
+  run_chunks ?chunks ctx n ~compute:(fun i -> out.(i) <- Some (f i input.(i)));
+  Array.to_list out
+  |> List.map (function Some v -> v | None -> assert false (* every slot written or raised *))
+
+let map ?chunks ctx f xs = mapi ?chunks ctx (fun _ x -> f x) xs
+let iter ?chunks ctx f xs = ignore (map ?chunks ctx f xs)
+
+let reduce ?(chunks = 8) ctx ~map:f ~combine ~init xs =
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let rs = ranges n chunks in
+  let partials : 'b option array = Array.make (max 1 (List.length rs)) None in
+  let failures : (int * exn) option array = Array.make (max 1 (List.length rs)) None in
+  let handles =
+    List.mapi
+      (fun chunk_idx (start, len) ->
+        Runtime.spawn ctx (fun _child ->
+            let acc = ref None in
+            let rec go i =
+              if i = start + len then partials.(chunk_idx) <- !acc
+              else
+                match f input.(i) with
+                | v ->
+                  acc := Some (match !acc with None -> v | Some a -> combine a v);
+                  go (i + 1)
+                | exception e -> failures.(chunk_idx) <- Some (i, e)
+            in
+            go start))
+      rs
+  in
+  Runtime.merge_all_from_set ctx handles;
+  Array.iter
+    (function Some (index, e) -> raise (Worker_failure (index, e)) | None -> ())
+    failures;
+  Array.fold_left
+    (fun acc -> function Some v -> combine acc v | None -> acc)
+    init partials
+
+let both ctx fa fb =
+  let a = ref None and b = ref None in
+  let ha = Runtime.spawn ctx (fun _ -> a := Some (fa ())) in
+  let hb = Runtime.spawn ctx (fun _ -> b := Some (fb ())) in
+  Runtime.merge_all_from_set ctx [ ha; hb ];
+  match (!a, !b, Runtime.error ha, Runtime.error hb) with
+  | Some va, Some vb, _, _ -> (va, vb)
+  | None, _, Some e, _ -> raise (Worker_failure (0, e))
+  | _, None, _, Some e -> raise (Worker_failure (1, e))
+  | _ -> assert false
+
+let tabulate ?chunks ctx n f =
+  if n < 0 then invalid_arg "Par.tabulate: negative length";
+  let out = Array.make (max 1 n) None in
+  run_chunks ?chunks ctx n ~compute:(fun i -> out.(i) <- Some (f i));
+  List.init n (fun i -> match out.(i) with Some v -> v | None -> assert false)

@@ -1,0 +1,45 @@
+(** Deterministic structured parallelism on top of Spawn and Merge.
+
+    The paper's Section VI wants to "reason about the generality ... for
+    further interesting use cases like scientific computing"; these
+    combinators are that use case.  Each call spawns child tasks for chunks
+    of the input and joins them with a deterministic merge, so results are
+    always assembled in input order — [reduce] is deterministic even for
+    non-commutative, non-associative combine functions, because the
+    combine sequence is fixed by the program, not the schedule.
+
+    Results travel through single-writer slots (each child owns a disjoint
+    range) and become visible at the merge join, so no locks and no races —
+    the same discipline the runtime's workspaces enforce, specialized to
+    fork/join shapes.  Exceptions inside [f] fail only that child; the
+    combinator re-raises the {e lowest-indexed} failure, again
+    deterministically. *)
+
+exception Worker_failure of int * exn
+(** [(input index, original exception)] of the first (lowest-index) failing
+    element. *)
+
+val map : ?chunks:int -> Runtime.ctx -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map, results in input order.  [chunks] bounds the number of
+    child tasks (default 8).
+    @raise Worker_failure if [f] raised. *)
+
+val mapi : ?chunks:int -> Runtime.ctx -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val iter : ?chunks:int -> Runtime.ctx -> ('a -> unit) -> 'a list -> unit
+(** Parallel iteration for element-local effects (e.g. filling caller-owned
+    disjoint slots).  Effects on shared structures must go through the
+    workspace as usual. *)
+
+val reduce :
+  ?chunks:int -> Runtime.ctx -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a list -> 'b
+(** [reduce ctx ~map ~combine ~init xs] maps in parallel and folds the
+    chunk results left-to-right in input order:
+    [combine (... (combine init r0) ...) rn]. *)
+
+val both : Runtime.ctx -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run two computations in parallel tasks; deterministic pairing. *)
+
+val tabulate : ?chunks:int -> Runtime.ctx -> int -> (int -> 'a) -> 'a list
+(** [tabulate ctx n f] is [List.init n f] with parallel chunks.
+    @raise Invalid_argument on negative [n]. *)

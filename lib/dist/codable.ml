@@ -1,0 +1,158 @@
+module C = Sm_util.Codec
+
+module type CODABLE_ELT = sig
+  include Sm_ot.Op_sig.ELT
+
+  val codec : t C.t
+end
+
+module type CODABLE_ORDERED_ELT = sig
+  include Sm_ot.Op_sig.ORDERED_ELT
+
+  val codec : t C.t
+end
+
+module Int_elt = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+  let codec = C.int
+end
+
+module String_elt = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf s = Format.fprintf ppf "%S" s
+  let codec = C.string
+end
+
+module Counter = struct
+  include Sm_ot.Op_counter
+
+  let type_name = "counter"
+  let state_codec = C.int
+  let op_codec = C.map (fun (Sm_ot.Op_counter.Add n) -> n) (fun n -> Sm_ot.Op_counter.Add n) C.int
+end
+
+module Text = struct
+  include Sm_ot.Op_text
+
+  let type_name = "text"
+  let state_codec = C.string
+
+  let op_codec =
+    C.tagged
+      ~tag:(function Sm_ot.Op_text.Ins _ -> 0 | Sm_ot.Op_text.Del _ -> 1)
+      ~write:(fun buf -> function
+        | Sm_ot.Op_text.Ins (p, s) ->
+          C.W.int buf p;
+          C.W.string buf s
+        | Sm_ot.Op_text.Del (p, l) ->
+          C.W.int buf p;
+          C.W.int buf l)
+      ~read:(fun tag r ->
+        match tag with
+        | 0 ->
+          let p = C.R.int r in
+          let s = C.R.string r in
+          Sm_ot.Op_text.Ins (p, s)
+        | 1 ->
+          let p = C.R.int r in
+          let l = C.R.int r in
+          Sm_ot.Op_text.Del (p, l)
+        | t -> raise (C.Decode_error (Printf.sprintf "Text op: unknown tag %d" t)))
+end
+
+module Make_list (Elt : CODABLE_ELT) = struct
+  module Op = Sm_ot.Op_list.Make (Elt)
+  include Op
+
+  let type_name = "list"
+  let state_codec = C.list Elt.codec
+
+  let op_codec =
+    C.tagged
+      ~tag:(function Op.Ins _ -> 0 | Op.Del _ -> 1 | Op.Set _ -> 2)
+      ~write:(fun buf -> function
+        | Op.Ins (i, x) ->
+          C.W.int buf i;
+          C.W.value Elt.codec buf x
+        | Op.Del i -> C.W.int buf i
+        | Op.Set (i, x) ->
+          C.W.int buf i;
+          C.W.value Elt.codec buf x)
+      ~read:(fun tag r ->
+        match tag with
+        | 0 ->
+          let i = C.R.int r in
+          let x = C.R.value Elt.codec r in
+          Op.Ins (i, x)
+        | 1 -> Op.Del (C.R.int r)
+        | 2 ->
+          let i = C.R.int r in
+          let x = C.R.value Elt.codec r in
+          Op.Set (i, x)
+        | t -> raise (C.Decode_error (Printf.sprintf "List op: unknown tag %d" t)))
+end
+
+module Make_queue (Elt : CODABLE_ELT) = struct
+  module Op = Sm_ot.Op_queue.Make (Elt)
+  include Op
+
+  let type_name = "queue"
+  let state_codec = C.list Elt.codec
+
+  let op_codec =
+    C.tagged
+      ~tag:(function Op.Push _ -> 0 | Op.Pop -> 1)
+      ~write:(fun buf -> function
+        | Op.Push x -> C.W.value Elt.codec buf x
+        | Op.Pop -> ())
+      ~read:(fun tag r ->
+        match tag with
+        | 0 -> Op.Push (C.R.value Elt.codec r)
+        | 1 -> Op.Pop
+        | t -> raise (C.Decode_error (Printf.sprintf "Queue op: unknown tag %d" t)))
+end
+
+module Make_register (V : CODABLE_ELT) = struct
+  module Op = Sm_ot.Op_register.Make (V)
+  include Op
+
+  let type_name = "register"
+  let state_codec = V.codec
+  let op_codec = C.map (fun (Op.Assign v) -> v) (fun v -> Op.Assign v) V.codec
+end
+
+module Make_map (Key : CODABLE_ORDERED_ELT) (Value : CODABLE_ELT) = struct
+  module Op = Sm_ot.Op_map.Make (Key) (Value)
+  include Op
+
+  let type_name = "map"
+
+  let state_codec =
+    C.map Op.Key_map.bindings
+      (fun bindings -> List.fold_left (fun m (k, v) -> Op.Key_map.add k v m) Op.Key_map.empty bindings)
+      (C.list (C.pair Key.codec Value.codec))
+
+  let op_codec =
+    C.tagged
+      ~tag:(function Op.Put _ -> 0 | Op.Remove _ -> 1)
+      ~write:(fun buf -> function
+        | Op.Put (k, v) ->
+          C.W.value Key.codec buf k;
+          C.W.value Value.codec buf v
+        | Op.Remove k -> C.W.value Key.codec buf k)
+      ~read:(fun tag r ->
+        match tag with
+        | 0 ->
+          let k = C.R.value Key.codec r in
+          let v = C.R.value Value.codec r in
+          Op.Put (k, v)
+        | 1 -> Op.Remove (C.R.value Key.codec r)
+        | t -> raise (C.Decode_error (Printf.sprintf "Map op: unknown tag %d" t)))
+end

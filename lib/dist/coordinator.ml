@@ -1,0 +1,197 @@
+module C = Sm_util.Codec
+module Ws = Sm_mergeable.Workspace
+
+type cluster =
+  { registry : Registry.t
+  ; upstream : string Sm_util.Bqueue.t
+  ; nodes : Node.t array
+  ; next_uid : int Atomic.t
+  ; next_node : int Atomic.t
+  }
+
+exception Remote_failure of string
+
+let cluster ?(nodes = 2) registry =
+  if nodes < 1 then invalid_arg "Coordinator.cluster: need at least one node";
+  let upstream = Sm_util.Bqueue.create () in
+  { registry
+  ; upstream
+  ; nodes = Array.init nodes (fun rank -> Node.start ~rank ~registry ~upstream)
+  ; next_uid = Atomic.make 0
+  ; next_node = Atomic.make 0
+  }
+
+let node_count cluster = Array.length cluster.nodes
+
+let send_down cluster rank msg =
+  Sm_util.Bqueue.push (Node.downstream cluster.nodes.(rank)) (C.encode Wire.down_codec msg)
+
+let shutdown cluster =
+  Array.iter (fun node -> send_down cluster (Node.rank node) Wire.Stop) cluster.nodes;
+  Array.iter Node.join cluster.nodes;
+  Sm_util.Bqueue.close cluster.upstream
+
+type child_state =
+  | Live
+  | Retired_ok
+  | Retired_failed of string
+
+type rtask =
+  { uid : int
+  ; node : int
+  ; mutable base : Ws.Versions.t
+  ; mutable cstate : child_state
+  ; mutable aborted : bool
+  }
+
+type ctx =
+  { cluster : cluster
+  ; ws : Ws.t
+  ; mutable children : rtask list (* creation order, retired included *)
+  ; buffered : Wire.up Queue.t (* events read from upstream, in arrival order *)
+  }
+
+let workspace ctx = ctx.ws
+let live ctx = List.filter (fun c -> c.cstate = Live) ctx.children
+let live_tasks ctx = List.length (live ctx)
+let rank_of c = c.node
+let failure c = match c.cstate with Retired_failed r -> Some r | Live | Retired_ok -> None
+
+let spawn ctx ?node task ~argument =
+  let cluster = ctx.cluster in
+  let node =
+    match node with
+    | Some n ->
+      if n < 0 || n >= Array.length cluster.nodes then
+        invalid_arg (Printf.sprintf "Coordinator.spawn: no node %d" n);
+      n
+    | None -> Atomic.fetch_and_add cluster.next_node 1 mod Array.length cluster.nodes
+  in
+  let uid = Atomic.fetch_and_add cluster.next_uid 1 in
+  let child = { uid; node; base = Ws.snapshot ctx.ws; cstate = Live; aborted = false } in
+  ctx.children <- ctx.children @ [ child ];
+  send_down cluster node
+    (Wire.Spawn { uid; task; argument; snapshot = Registry.encode_snapshot cluster.registry ctx.ws });
+  child
+
+let decode_up bytes =
+  try C.decode Wire.up_codec bytes
+  with C.Decode_error msg -> raise (Remote_failure ("corrupt upstream message: " ^ msg))
+
+(* Pull upstream until an event for [uid] is available; buffer strangers in
+   arrival order. *)
+let next_event_for ctx uid =
+  let rec from_buffer pending =
+    match Queue.take_opt ctx.buffered with
+    | Some ev when Wire.uid_of_up ev = uid ->
+      Queue.transfer ctx.buffered pending;
+      Queue.transfer pending ctx.buffered;
+      Some ev
+    | Some ev ->
+      Queue.add ev pending;
+      from_buffer pending
+    | None ->
+      Queue.transfer pending ctx.buffered;
+      None
+  in
+  match from_buffer (Queue.create ()) with
+  | Some ev -> ev
+  | None ->
+    let rec pull () =
+      match Sm_util.Bqueue.pop ctx.cluster.upstream with
+      | None -> raise (Remote_failure "cluster shut down while merging")
+      | Some bytes ->
+        let ev = decode_up bytes in
+        if Wire.uid_of_up ev = uid then ev
+        else begin
+          Queue.add ev ctx.buffered;
+          pull ()
+        end
+    in
+    pull ()
+
+let next_event_any ctx =
+  match Queue.take_opt ctx.buffered with
+  | Some ev -> ev
+  | None -> (
+    match Sm_util.Bqueue.pop ctx.cluster.upstream with
+    | None -> raise (Remote_failure "cluster shut down while merging")
+    | Some bytes -> decode_up bytes)
+
+let find_child ctx uid =
+  match List.find_opt (fun c -> c.uid = uid) ctx.children with
+  | Some c -> c
+  | None -> raise (Remote_failure (Printf.sprintf "event for unknown remote task %d" uid))
+
+let merge_decode_error name msg =
+  Remote_failure (Printf.sprintf "merging remote task %d: %s" name msg)
+
+let default_validate _ = true
+
+(* Validation for remote merges inspects the would-be post-merge state: the
+   journal is merged into a full clone (history included, so other
+   children's bases stay valid), the predicate judges the clone, and
+   acceptance adopts it.  The coordinator never materializes the child's
+   workspace, so this is the remote analogue of validating the child's
+   data. *)
+let try_merge ctx child journal ~validate =
+  let cluster = ctx.cluster in
+  match
+    if validate == default_validate then begin
+      Registry.merge_journal cluster.registry ~into:ctx.ws ~base:child.base journal;
+      true
+    end
+    else begin
+      let trial = Ws.clone_full ctx.ws in
+      Registry.merge_journal cluster.registry ~into:trial ~base:child.base journal;
+      if validate trial then begin
+        Ws.adopt ctx.ws ~from:trial;
+        true
+      end
+      else false
+    end
+  with
+  | granted -> granted
+  | exception C.Decode_error msg -> raise (merge_decode_error child.uid msg)
+
+let process ?(validate = default_validate) ctx child ev =
+  let cluster = ctx.cluster in
+  match ev with
+  | Wire.Sync_request { journal; _ } ->
+    let granted = if child.aborted then false else try_merge ctx child journal ~validate in
+    child.base <- Ws.snapshot ctx.ws;
+    send_down cluster child.node
+      (Wire.Reply { uid = child.uid; granted; snapshot = Registry.encode_snapshot cluster.registry ctx.ws })
+  | Wire.Task_completed { journal; _ } ->
+    if not child.aborted then ignore (try_merge ctx child journal ~validate);
+    child.cstate <- Retired_ok
+  | Wire.Task_failed { reason; _ } -> child.cstate <- Retired_failed reason
+
+let merge_all ?validate ctx =
+  List.iter (fun child -> process ?validate ctx child (next_event_for ctx child.uid)) (live ctx)
+
+let merge_any ?validate ctx =
+  if live ctx = [] then None
+  else begin
+    let ev = next_event_any ctx in
+    let child = find_child ctx (Wire.uid_of_up ev) in
+    process ?validate ctx child ev;
+    Some child
+  end
+
+let run cluster body =
+  let ctx = { cluster; ws = Ws.create (); children = []; buffered = Queue.create () } in
+  let drain () =
+    while live_tasks ctx > 0 do
+      merge_all ctx
+    done
+  in
+  match body ctx with
+  | result ->
+    drain ();
+    result
+  | exception e ->
+    (* abandon the run: refuse every outstanding task's merges, then drain *)
+    List.iter (fun c -> c.aborted <- true) ctx.children;
+    (try drain () with _ -> ());
+    raise e

@@ -1,0 +1,62 @@
+module C = Sm_util.Codec
+
+type t =
+  { rank : int
+  ; down : string Sm_util.Bqueue.t
+  ; domain : unit Domain.t
+  }
+
+type reply =
+  { granted : bool
+  ; snapshot : Wire.entries
+  }
+
+let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot () =
+  let ws = ref (Registry.build_workspace registry snapshot) in
+  let send up = Sm_util.Bqueue.push upstream (C.encode Wire.up_codec up) in
+  let do_sync () =
+    send (Wire.Sync_request { uid; journal = Registry.encode_journal registry !ws });
+    match Sm_util.Bqueue.pop mailbox with
+    | None -> `Refused (* node shutting down mid-sync; treat as refusal *)
+    | Some { granted; snapshot } ->
+      ws := Registry.build_workspace registry snapshot;
+      if granted then `Granted else `Refused
+  in
+  let ctx = Registry.make_ctx ~ws ~do_sync ~rank ~argument in
+  match Registry.find_task registry task ctx with
+  | () -> send (Wire.Task_completed { uid; journal = Registry.encode_journal registry !ws })
+  | exception e -> send (Wire.Task_failed { uid; reason = Printexc.to_string e })
+
+(* The node's main loop: decode commands, start task threads, route replies.
+   Only this thread touches the mailbox table, so no lock is needed. *)
+let node_loop ~rank ~registry ~upstream ~down () =
+  let mailboxes : (int, reply Sm_util.Bqueue.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec loop threads =
+    match Sm_util.Bqueue.pop down with
+    | None -> List.iter Thread.join threads (* channel closed: abandon ship *)
+    | Some bytes -> (
+      match C.decode Wire.down_codec bytes with
+      | Wire.Spawn { uid; task; argument; snapshot } ->
+        let mailbox = Sm_util.Bqueue.create () in
+        Hashtbl.replace mailboxes uid mailbox;
+        let thread =
+          Thread.create (run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot) ()
+        in
+        loop (thread :: threads)
+      | Wire.Reply { uid; granted; snapshot } ->
+        (match Hashtbl.find_opt mailboxes uid with
+        | Some mailbox -> Sm_util.Bqueue.push mailbox { granted; snapshot }
+        | None -> () (* reply for a task we never saw: drop *));
+        loop threads
+      | Wire.Stop -> List.iter Thread.join threads)
+  in
+  loop []
+
+let start ~rank ~registry ~upstream =
+  let down = Sm_util.Bqueue.create () in
+  let domain = Domain.spawn (node_loop ~rank ~registry ~upstream ~down) in
+  { rank; down; domain }
+
+let downstream t = t.down
+let rank t = t.rank
+let join t = Domain.join t.domain

@@ -1,0 +1,25 @@
+(** A worker node: one domain running remote Spawn/Merge tasks.
+
+    A node owns a downstream byte channel (commands and sync replies from
+    the coordinator) and shares the coordinator's upstream channel with its
+    peers.  On [Spawn] it reconstructs the task's workspace from the shipped
+    snapshot and runs the registered body on a fresh thread; [sync] inside
+    the body sends the journal upstream and parks on a per-task mailbox
+    until the coordinator's [Reply] routes back.  On [Stop] the node joins
+    its task threads and its domain exits. *)
+
+type t
+
+val start :
+  rank:int -> registry:Registry.t -> upstream:string Sm_util.Bqueue.t -> t
+(** Launch the node domain.  [upstream] carries encoded {!Wire.up} values;
+    the node's downstream channel is created internally. *)
+
+val downstream : t -> string Sm_util.Bqueue.t
+(** Where the coordinator writes encoded {!Wire.down} values for this
+    node. *)
+
+val rank : t -> int
+
+val join : t -> unit
+(** Wait for the node domain to exit (send {!Wire.Stop} first). *)

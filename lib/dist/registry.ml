@@ -1,0 +1,104 @@
+module Ws = Sm_mergeable.Workspace
+
+module type CODABLE_DATA = sig
+  include Sm_mergeable.Data.S
+
+  val state_codec : state Sm_util.Codec.t
+  val op_codec : op Sm_util.Codec.t
+end
+
+type ('s, 'o) rkey =
+  { wire_id : int
+  ; wkey : ('s, 'o) Ws.key
+  ; state_codec : 's Sm_util.Codec.t
+  ; op_codec : 'o Sm_util.Codec.t
+  }
+
+type packed = V : ('s, 'o) rkey -> packed
+
+type ctx =
+  { ws : Ws.t ref
+  ; do_sync : unit -> [ `Granted | `Refused ]
+  ; rank : int
+  ; argument : string
+  }
+
+type t =
+  { mutable values : packed list (* reverse registration order *)
+  ; tasks : (string, ctx -> unit) Hashtbl.t
+  }
+
+let create () = { values = []; tasks = Hashtbl.create 8 }
+
+let value (type s o) t ~name (module D : CODABLE_DATA with type state = s and type op = o) :
+    (s, o) rkey =
+  let rkey =
+    { wire_id = List.length t.values
+    ; wkey = Ws.create_key (module D) ~name
+    ; state_codec = D.state_codec
+    ; op_codec = D.op_codec
+    }
+  in
+  t.values <- V rkey :: t.values;
+  rkey
+
+let values_in_order t = List.rev t.values
+let workspace_key rk = rk.wkey
+
+let find_value t id =
+  match List.find_opt (fun (V rk) -> rk.wire_id = id) t.values with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Registry: unknown wire id %d" id)
+
+(* --- task ctx -------------------------------------------------------------- *)
+
+let read ctx rk = Ws.read !(ctx.ws) rk.wkey
+let update ctx rk op = Ws.update !(ctx.ws) rk.wkey op
+let sync ctx = ctx.do_sync ()
+let rank ctx = ctx.rank
+let argument ctx = ctx.argument
+let make_ctx ~ws ~do_sync ~rank ~argument = { ws; do_sync; rank; argument }
+
+let task t ~name body =
+  if Hashtbl.mem t.tasks name then invalid_arg (Printf.sprintf "Registry: duplicate task %S" name);
+  Hashtbl.replace t.tasks name body;
+  name
+
+let find_task t name = Hashtbl.find t.tasks name
+
+(* --- wire plumbing ---------------------------------------------------------- *)
+
+let encode_snapshot t ws =
+  List.filter_map
+    (fun (V rk) ->
+      if Ws.mem ws rk.wkey then
+        Some (rk.wire_id, Sm_util.Codec.encode rk.state_codec (Ws.read ws rk.wkey))
+      else None)
+    (values_in_order t)
+
+let build_workspace t snapshot =
+  let ws = Ws.create () in
+  List.iter
+    (fun (id, bytes) ->
+      let (V rk) = find_value t id in
+      Ws.init ws rk.wkey (Sm_util.Codec.decode rk.state_codec bytes))
+    snapshot;
+  ws
+
+let encode_journal t ws =
+  List.filter_map
+    (fun (V rk) ->
+      if Ws.mem ws rk.wkey then
+        match Ws.journal ws rk.wkey with
+        | [] -> None
+        | ops -> Some (rk.wire_id, Sm_util.Codec.encode (Sm_util.Codec.list rk.op_codec) ops)
+      else None)
+    (values_in_order t)
+
+let merge_journal t ~into ~base entries =
+  List.iter
+    (fun (id, bytes) ->
+      let (V rk) = find_value t id in
+      let ops = Sm_util.Codec.decode (Sm_util.Codec.list rk.op_codec) bytes in
+      Ws.merge_ops into rk.wkey ~ops ~base_version:(Ws.version_in base rk.wkey))
+    entries

@@ -1,0 +1,96 @@
+(** The shared vocabulary of a distributed Spawn/Merge system: which
+    mergeable values exist and which task bodies can be spawned remotely.
+
+    The paper's Section VI names "apply the concept of Spawn and Merge to
+    distributed computing by using MPI" as future work; this library builds
+    that system over simulated ranks (one domain per node, byte-only
+    channels).  Like MPI programs, both sides run the same code: a registry
+    is constructed identically on the coordinator and on every node, so a
+    value or task is identified on the wire by its registration index alone.
+    Closures never cross the wire — only registered task {e names}, string
+    arguments, encoded states and encoded operation journals.
+
+    Registration order matters (it defines wire ids): build the registry in
+    one place, at module level. *)
+
+type t
+
+type ('s, 'o) rkey
+(** A registered mergeable value: a {!Sm_mergeable.Workspace.key} plus
+    codecs and a wire id. *)
+
+(** A mergeable type that can cross the wire. *)
+module type CODABLE_DATA = sig
+  include Sm_mergeable.Data.S
+
+  val state_codec : state Sm_util.Codec.t
+  val op_codec : op Sm_util.Codec.t
+end
+
+val create : unit -> t
+
+val value :
+  t ->
+  name:string ->
+  (module CODABLE_DATA with type state = 's and type op = 'o) ->
+  ('s, 'o) rkey
+(** Register a mergeable value.  Its wire id is the registration index. *)
+
+val workspace_key : ('s, 'o) rkey -> ('s, 'o) Sm_mergeable.Workspace.key
+(** The underlying workspace key — use it to initialize the coordinator's
+    workspace and to read results. *)
+
+(** {1 Task bodies (run on nodes)} *)
+
+type ctx
+(** What a remote task sees: its private workspace, its rank, its spawn
+    argument, and [sync]. *)
+
+val read : ctx -> ('s, 'o) rkey -> 's
+
+val update : ctx -> ('s, 'o) rkey -> 'o -> unit
+
+val sync : ctx -> [ `Granted | `Refused ]
+(** Ship the journal to the coordinator, block for the merge, continue on a
+    fresh snapshot (either way). *)
+
+val rank : ctx -> int
+(** The node this task runs on. *)
+
+val argument : ctx -> string
+
+val task : t -> name:string -> (ctx -> unit) -> string
+(** Register a task body under [name]; returns [name] for symmetry.
+    @raise Invalid_argument on duplicate names. *)
+
+(** {1 Internal plumbing (used by {!Node} and {!Coordinator})} *)
+
+val encode_snapshot : t -> Sm_mergeable.Workspace.t -> (int * string) list
+(** Encoded state of every registered-and-bound value, by wire id. *)
+
+val build_workspace : t -> (int * string) list -> Sm_mergeable.Workspace.t
+(** Reconstruct a workspace from an encoded snapshot.
+    @raise Sm_util.Codec.Decode_error / [Invalid_argument] on unknown ids. *)
+
+val encode_journal : t -> Sm_mergeable.Workspace.t -> (int * string) list
+(** Encoded operation journal of every bound value with pending operations. *)
+
+val merge_journal :
+  t ->
+  into:Sm_mergeable.Workspace.t ->
+  base:Sm_mergeable.Workspace.Versions.t ->
+  (int * string) list ->
+  unit
+(** Decode a remote journal and OT-merge it into [into] against [base] —
+    the distributed counterpart of {!Sm_mergeable.Workspace.merge_child}. *)
+
+val find_task : t -> string -> ctx -> unit
+(** @raise Not_found for unregistered task names. *)
+
+val make_ctx :
+  ws:Sm_mergeable.Workspace.t ref ->
+  do_sync:(unit -> [ `Granted | `Refused ]) ->
+  rank:int ->
+  argument:string ->
+  ctx
+(** Used by {!Node} to run task bodies. *)

@@ -1,0 +1,92 @@
+module C = Sm_util.Codec
+
+type entries = (int * string) list
+
+type down =
+  | Spawn of
+      { uid : int
+      ; task : string
+      ; argument : string
+      ; snapshot : entries
+      }
+  | Reply of
+      { uid : int
+      ; granted : bool
+      ; snapshot : entries
+      }
+  | Stop
+
+type up =
+  | Sync_request of
+      { uid : int
+      ; journal : entries
+      }
+  | Task_completed of
+      { uid : int
+      ; journal : entries
+      }
+  | Task_failed of
+      { uid : int
+      ; reason : string
+      }
+
+let entries_codec = C.list (C.pair C.int C.string)
+
+let down_codec =
+  C.tagged
+    ~tag:(function Spawn _ -> 0 | Reply _ -> 1 | Stop -> 2)
+    ~write:(fun buf -> function
+      | Spawn { uid; task; argument; snapshot } ->
+        C.W.int buf uid;
+        C.W.string buf task;
+        C.W.string buf argument;
+        C.W.value entries_codec buf snapshot
+      | Reply { uid; granted; snapshot } ->
+        C.W.int buf uid;
+        C.W.bool buf granted;
+        C.W.value entries_codec buf snapshot
+      | Stop -> ())
+    ~read:(fun tag r ->
+      match tag with
+      | 0 ->
+        let uid = C.R.int r in
+        let task = C.R.string r in
+        let argument = C.R.string r in
+        let snapshot = C.R.value entries_codec r in
+        Spawn { uid; task; argument; snapshot }
+      | 1 ->
+        let uid = C.R.int r in
+        let granted = C.R.bool r in
+        let snapshot = C.R.value entries_codec r in
+        Reply { uid; granted; snapshot }
+      | 2 -> Stop
+      | t -> raise (C.Decode_error (Printf.sprintf "Wire.down: unknown tag %d" t)))
+
+let up_codec =
+  C.tagged
+    ~tag:(function Sync_request _ -> 0 | Task_completed _ -> 1 | Task_failed _ -> 2)
+    ~write:(fun buf -> function
+      | Sync_request { uid; journal } | Task_completed { uid; journal } ->
+        C.W.int buf uid;
+        C.W.value entries_codec buf journal
+      | Task_failed { uid; reason } ->
+        C.W.int buf uid;
+        C.W.string buf reason)
+    ~read:(fun tag r ->
+      match tag with
+      | 0 ->
+        let uid = C.R.int r in
+        let journal = C.R.value entries_codec r in
+        Sync_request { uid; journal }
+      | 1 ->
+        let uid = C.R.int r in
+        let journal = C.R.value entries_codec r in
+        Task_completed { uid; journal }
+      | 2 ->
+        let uid = C.R.int r in
+        let reason = C.R.string r in
+        Task_failed { uid; reason }
+      | t -> raise (C.Decode_error (Printf.sprintf "Wire.up: unknown tag %d" t)))
+
+let uid_of_up = function
+  | Sync_request { uid; _ } | Task_completed { uid; _ } | Task_failed { uid; _ } -> uid

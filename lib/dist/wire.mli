@@ -1,0 +1,41 @@
+(** The wire protocol between the coordinator and its nodes.
+
+    Everything that crosses a channel is one encoded {!down} or {!up} value;
+    snapshots and journals are [(wire_id, bytes)] association lists whose
+    payloads were themselves encoded by the registry's per-value codecs. *)
+
+type entries = (int * string) list
+
+type down =
+  | Spawn of
+      { uid : int  (** remote task id, unique per coordinator run *)
+      ; task : string  (** registered task name *)
+      ; argument : string
+      ; snapshot : entries
+      }
+  | Reply of
+      { uid : int
+      ; granted : bool  (** false: the merge was refused (validation) *)
+      ; snapshot : entries  (** fresh data either way, like [Runtime.sync] *)
+      }
+  | Stop
+
+type up =
+  | Sync_request of
+      { uid : int
+      ; journal : entries
+      }
+  | Task_completed of
+      { uid : int
+      ; journal : entries
+      }
+  | Task_failed of
+      { uid : int
+      ; reason : string
+      }
+
+val down_codec : down Sm_util.Codec.t
+
+val up_codec : up Sm_util.Codec.t
+
+val uid_of_up : up -> int

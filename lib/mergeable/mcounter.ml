@@ -1,0 +1,13 @@
+module Data = struct
+  include Sm_ot.Op_counter
+
+  let type_name = "counter"
+end
+
+type handle = (int, Sm_ot.Op_counter.op) Workspace.key
+
+let key ~name = Workspace.create_key (module Data) ~name
+let get = Workspace.read
+let add ws h n = Workspace.update ws h (Sm_ot.Op_counter.add n)
+let incr ws h = add ws h 1
+let decr ws h = add ws h (-1)

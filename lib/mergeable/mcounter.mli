@@ -1,0 +1,15 @@
+(** Mergeable integer counters: concurrent increments always sum. *)
+
+module Data : Data.S with type state = int and type op = Sm_ot.Op_counter.op
+
+type handle = (int, Sm_ot.Op_counter.op) Workspace.key
+
+val key : name:string -> handle
+
+val get : Workspace.t -> handle -> int
+
+val add : Workspace.t -> handle -> int -> unit
+
+val incr : Workspace.t -> handle -> unit
+
+val decr : Workspace.t -> handle -> unit

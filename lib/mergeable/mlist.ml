@@ -1,0 +1,20 @@
+module Make (Elt : Sm_ot.Op_sig.ELT) = struct
+  module Op = Sm_ot.Op_list.Make (Elt)
+
+  module Data = struct
+    include Op
+
+    let type_name = "list"
+  end
+
+  type handle = (Elt.t list, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let length ws h = List.length (get ws h)
+  let nth ws h i = List.nth_opt (get ws h) i
+  let append ws h x = Workspace.update ws h (Op.ins (length ws h) x)
+  let insert ws h i x = Workspace.update ws h (Op.ins i x)
+  let delete ws h i = Workspace.update ws h (Op.del i)
+  let set ws h i x = Workspace.update ws h (Op.set i x)
+end

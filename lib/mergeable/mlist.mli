@@ -1,0 +1,30 @@
+(** Mergeable lists — the data structure of the paper's Listing 1.
+
+    Helpers read the value through the workspace and journal positional
+    operations; concurrent edits from other tasks reconcile at merge time via
+    {!Sm_ot.Op_list} transforms. *)
+
+module Make (Elt : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_list.Make (Elt)
+
+  module Data : Data.S with type state = Elt.t list and type op = Op.op
+
+  type handle = (Elt.t list, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Elt.t list
+
+  val length : Workspace.t -> handle -> int
+
+  val nth : Workspace.t -> handle -> int -> Elt.t option
+
+  val append : Workspace.t -> handle -> Elt.t -> unit
+
+  val insert : Workspace.t -> handle -> int -> Elt.t -> unit
+  (** @raise Invalid_argument if the position is out of range. *)
+
+  val delete : Workspace.t -> handle -> int -> unit
+
+  val set : Workspace.t -> handle -> int -> Elt.t -> unit
+end

@@ -1,0 +1,19 @@
+module Make (Key : Sm_ot.Op_sig.ORDERED_ELT) (Value : Sm_ot.Op_sig.ELT) = struct
+  module Op = Sm_ot.Op_map.Make (Key) (Value)
+
+  module Data = struct
+    include Op
+
+    let type_name = "map"
+  end
+
+  type handle = (Value.t Op.Key_map.t, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let find ws h k = Op.Key_map.find_opt k (get ws h)
+  let bindings ws h = Op.Key_map.bindings (get ws h)
+  let cardinal ws h = Op.Key_map.cardinal (get ws h)
+  let put ws h k v = Workspace.update ws h (Op.put k v)
+  let remove ws h k = Workspace.update ws h (Op.remove k)
+end

@@ -1,0 +1,24 @@
+(** Mergeable dictionaries: independent keys merge freely; per-key conflicts
+    resolve deterministically, later-merged child wins. *)
+
+module Make (Key : Sm_ot.Op_sig.ORDERED_ELT) (Value : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_map.Make (Key) (Value)
+
+  module Data : Data.S with type state = Value.t Op.Key_map.t and type op = Op.op
+
+  type handle = (Value.t Op.Key_map.t, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Value.t Op.Key_map.t
+
+  val find : Workspace.t -> handle -> Key.t -> Value.t option
+
+  val bindings : Workspace.t -> handle -> (Key.t * Value.t) list
+
+  val cardinal : Workspace.t -> handle -> int
+
+  val put : Workspace.t -> handle -> Key.t -> Value.t -> unit
+
+  val remove : Workspace.t -> handle -> Key.t -> unit
+end

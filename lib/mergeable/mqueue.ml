@@ -1,0 +1,26 @@
+module Make (Elt : Sm_ot.Op_sig.ELT) = struct
+  module Op = Sm_ot.Op_queue.Make (Elt)
+
+  module Data = struct
+    include Op
+
+    let type_name = "queue"
+  end
+
+  type handle = (Elt.t list, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let length ws h = List.length (get ws h)
+  let is_empty ws h = get ws h = []
+  let push ws h x = Workspace.update ws h (Op.push x)
+
+  let pop ws h =
+    match get ws h with
+    | [] -> None
+    | x :: _ ->
+      Workspace.update ws h Op.pop;
+      Some x
+
+  let peek ws h = match get ws h with [] -> None | x :: _ -> Some x
+end

@@ -1,0 +1,32 @@
+(** Mergeable FIFO queues — the paper's [MergeableQueue] (Listing 4).
+
+    {!pop} consumes a slot {e in this task's view} and journals the
+    consumption only when it actually happened, so merged histories remove
+    exactly as many elements as were really popped (see {!Sm_ot.Op_queue}
+    for the intention semantics).  Designed for single-consumer queues: in
+    the network simulation each host pops only its own queue while any host
+    may push to it. *)
+
+module Make (Elt : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_queue.Make (Elt)
+
+  module Data : Data.S with type state = Elt.t list and type op = Op.op
+
+  type handle = (Elt.t list, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Elt.t list
+  (** Front first. *)
+
+  val length : Workspace.t -> handle -> int
+
+  val is_empty : Workspace.t -> handle -> bool
+
+  val push : Workspace.t -> handle -> Elt.t -> unit
+
+  val pop : Workspace.t -> handle -> Elt.t option
+  (** [None] on an empty queue — nothing is journalled in that case. *)
+
+  val peek : Workspace.t -> handle -> Elt.t option
+end

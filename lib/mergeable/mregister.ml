@@ -1,0 +1,15 @@
+module Make (V : Sm_ot.Op_sig.ELT) = struct
+  module Op = Sm_ot.Op_register.Make (V)
+
+  module Data = struct
+    include Op
+
+    let type_name = "register"
+  end
+
+  type handle = (V.t, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let set ws h v = Workspace.update ws h (Op.assign v)
+end

@@ -1,0 +1,16 @@
+(** Mergeable single-value registers: conflicting concurrent assignments
+    resolve deterministically, later-merged child wins. *)
+
+module Make (V : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_register.Make (V)
+
+  module Data : Data.S with type state = V.t and type op = Op.op
+
+  type handle = (V.t, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> V.t
+
+  val set : Workspace.t -> handle -> V.t -> unit
+end

@@ -1,0 +1,19 @@
+module Make (Elt : Sm_ot.Op_sig.ORDERED_ELT) = struct
+  module Op = Sm_ot.Op_set.Make (Elt)
+
+  module Data = struct
+    include Op
+
+    let type_name = "set"
+  end
+
+  type handle = (Op.Elt_set.t, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let mem ws h x = Op.Elt_set.mem x (get ws h)
+  let cardinal ws h = Op.Elt_set.cardinal (get ws h)
+  let elements ws h = Op.Elt_set.elements (get ws h)
+  let add ws h x = Workspace.update ws h (Op.add x)
+  let remove ws h x = Workspace.update ws h (Op.remove x)
+end

@@ -1,0 +1,24 @@
+(** Mergeable sets: idempotent adds/removes; a concurrent add/remove of the
+    same element resolves deterministically, later-merged child wins. *)
+
+module Make (Elt : Sm_ot.Op_sig.ORDERED_ELT) : sig
+  module Op : module type of Sm_ot.Op_set.Make (Elt)
+
+  module Data : Data.S with type state = Op.Elt_set.t and type op = Op.op
+
+  type handle = (Op.Elt_set.t, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Op.Elt_set.t
+
+  val mem : Workspace.t -> handle -> Elt.t -> bool
+
+  val cardinal : Workspace.t -> handle -> int
+
+  val elements : Workspace.t -> handle -> Elt.t list
+
+  val add : Workspace.t -> handle -> Elt.t -> unit
+
+  val remove : Workspace.t -> handle -> Elt.t -> unit
+end

@@ -1,0 +1,24 @@
+(** Mergeable stacks (LIFO, remove-that-element pop intention — see
+    {!Sm_ot.Op_stack} for the contrast with queues). *)
+
+module Make (Elt : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_stack.Make (Elt)
+
+  module Data : Data.S with type state = Elt.t list and type op = Op.op
+
+  type handle = (Elt.t list, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Elt.t list
+  (** Top first. *)
+
+  val depth : Workspace.t -> handle -> int
+
+  val push : Workspace.t -> handle -> Elt.t -> unit
+
+  val pop : Workspace.t -> handle -> Elt.t option
+  (** [None] on an empty stack — nothing is journalled in that case. *)
+
+  val peek : Workspace.t -> handle -> Elt.t option
+end

@@ -1,0 +1,19 @@
+module Data = struct
+  include Sm_ot.Op_text
+
+  let type_name = "text"
+end
+
+type handle = (string, Sm_ot.Op_text.op) Workspace.key
+
+let key ~name = Workspace.create_key (module Data) ~name
+let get = Workspace.read
+let length ws h = String.length (get ws h)
+
+let insert ws h pos s =
+  if String.length s > 0 then Workspace.update ws h (Sm_ot.Op_text.ins pos s)
+
+let delete ws h ~pos ~len =
+  if len > 0 then Workspace.update ws h (Sm_ot.Op_text.del ~pos ~len)
+
+let append ws h s = insert ws h (length ws h) s

@@ -1,0 +1,19 @@
+(** Mergeable text buffers (collaborative-editing strings). *)
+
+module Data : Data.S with type state = string and type op = Sm_ot.Op_text.op
+
+type handle = (string, Sm_ot.Op_text.op) Workspace.key
+
+val key : name:string -> handle
+
+val get : Workspace.t -> handle -> string
+
+val length : Workspace.t -> handle -> int
+
+val insert : Workspace.t -> handle -> int -> string -> unit
+(** Inserting the empty string is a no-op and journals nothing. *)
+
+val delete : Workspace.t -> handle -> pos:int -> len:int -> unit
+(** Deleting zero bytes is a no-op and journals nothing. *)
+
+val append : Workspace.t -> handle -> string -> unit

@@ -1,0 +1,19 @@
+module Make (Label : Sm_ot.Op_sig.ELT) = struct
+  module Op = Sm_ot.Op_tree.Make (Label)
+
+  module Data = struct
+    include Op
+
+    let type_name = "tree"
+  end
+
+  type handle = (Op.state, Op.op) Workspace.key
+
+  let key ~name = Workspace.create_key (module Data) ~name
+  let get = Workspace.read
+  let find ws h p = Op.find (get ws h) p
+  let size ws h = Op.size (get ws h)
+  let insert ws h p n = Workspace.update ws h (Op.insert p n)
+  let delete ws h p = Workspace.update ws h (Op.delete p)
+  let relabel ws h p l = Workspace.update ws h (Op.relabel p l)
+end

@@ -1,0 +1,24 @@
+(** Mergeable ordered trees (labelled forests addressed by child-index
+    paths). *)
+
+module Make (Label : Sm_ot.Op_sig.ELT) : sig
+  module Op : module type of Sm_ot.Op_tree.Make (Label)
+
+  module Data : Data.S with type state = Op.state and type op = Op.op
+
+  type handle = (Op.state, Op.op) Workspace.key
+
+  val key : name:string -> handle
+
+  val get : Workspace.t -> handle -> Op.state
+
+  val find : Workspace.t -> handle -> Op.path -> Op.node option
+
+  val size : Workspace.t -> handle -> int
+
+  val insert : Workspace.t -> handle -> Op.path -> Op.node -> unit
+
+  val delete : Workspace.t -> handle -> Op.path -> unit
+
+  val relabel : Workspace.t -> handle -> Op.path -> Label.t -> unit
+end

@@ -1,0 +1,219 @@
+module Imap = Map.Make (Int)
+
+exception Unbound_key of string
+exception Already_bound of string
+
+(* A cell holds one mergeable value: its current (persistent) state plus the
+   journal of operations applied since the cell was created or last rebased.
+   [offset] counts journal entries dropped by [truncate]; the cell's version
+   is [offset + length journal]. *)
+type ('s, 'o) cell =
+  { mutable state : 's
+  ; mutable journal : 'o Sm_util.Vec.t
+  ; mutable offset : int
+  }
+
+type boxed = ..
+
+type ('s, 'o) key =
+  { id : int
+  ; name : string
+  ; data : (module Data.S with type state = 's and type op = 'o)
+  ; inj : ('s, 'o) cell -> boxed
+  ; prj : boxed -> ('s, 'o) cell option
+  }
+
+type packed = P : ('s, 'o) key * ('s, 'o) cell -> packed
+
+type t = { mutable cells : packed Imap.t }
+
+let next_key_id = Atomic.make 0
+
+let create_key (type s o) (module D : Data.S with type state = s and type op = o) ~name :
+    (s, o) key =
+  let module M = struct
+    type boxed += B of (s, o) cell
+  end in
+  { id = Atomic.fetch_and_add next_key_id 1
+  ; name
+  ; data = (module D)
+  ; inj = (fun c -> M.B c)
+  ; prj = (function M.B c -> Some c | _ -> None)
+  }
+
+let key_name k = k.name
+
+module Versions = struct
+  type t = int Imap.t
+
+  let empty = Imap.empty
+  let find id (t : t) = Option.value ~default:0 (Imap.find_opt id t)
+
+  let pp ppf (t : t) =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         (fun ppf (id, v) -> Format.fprintf ppf "%d:%d" id v))
+      (Imap.bindings t)
+end
+
+let create () = { cells = Imap.empty }
+
+let find_cell (type s o) (t : t) (k : (s, o) key) : (s, o) cell option =
+  match Imap.find_opt k.id t.cells with
+  | None -> None
+  | Some (P (k', c)) -> k.prj (k'.inj c)
+
+let get_cell t k =
+  match find_cell t k with
+  | Some c -> c
+  | None -> raise (Unbound_key k.name)
+
+let mem t k = Imap.mem k.id t.cells
+
+let init t k state =
+  if mem t k then raise (Already_bound k.name);
+  let cell = { state; journal = Sm_util.Vec.create (); offset = 0 } in
+  t.cells <- Imap.add k.id (P (k, cell)) t.cells
+
+let read t k = (get_cell t k).state
+
+let update (type s o) t (k : (s, o) key) (op : o) =
+  let module D = (val k.data) in
+  let cell = get_cell t k in
+  cell.state <- D.apply cell.state op;
+  Sm_util.Vec.push cell.journal op
+
+let cell_version c = c.offset + Sm_util.Vec.length c.journal
+let version_of t k = cell_version (get_cell t k)
+
+let key_names t = List.map (fun (_, P (k, _)) -> k.name) (Imap.bindings t.cells)
+
+let version_in versions k = Versions.find k.id versions
+let journal t k = Sm_util.Vec.to_list (get_cell t k).journal
+
+let snapshot t = Imap.map (fun (P (_, c)) -> cell_version c) t.cells
+
+let fresh_copy (P (k, c)) = P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = 0 })
+
+let copy t = { cells = Imap.map fresh_copy t.cells }
+
+let clone_full t =
+  { cells =
+      Imap.map
+        (fun (P (k, c)) ->
+          P (k, { state = c.state; journal = Sm_util.Vec.copy c.journal; offset = c.offset }))
+        t.cells
+  }
+
+let adopt t ~from = t.cells <- from.cells
+
+let integrate (type s o) (k : (s, o) key) ~(parent : (s, o) cell) ~(ops : o list) ~base_version =
+  let module D = (val k.data) in
+  let module C = Sm_ot.Control.Make (D) in
+  if base_version < parent.offset then
+    invalid_arg
+      (Printf.sprintf "Workspace.merge_child: journal of %S truncated past child base (%d < %d)"
+         k.name base_version parent.offset);
+  let parent_since = Sm_util.Vec.slice parent.journal ~from:(base_version - parent.offset) in
+  let ops' = C.transform_seq ops ~against:parent_since ~tie:Sm_ot.Side.serialization in
+  parent.state <- C.apply_seq parent.state ops';
+  Sm_util.Vec.append_list parent.journal ops'
+
+let merge_cell k ~parent ~child ~base_version =
+  integrate k ~parent ~ops:(Sm_util.Vec.to_list child.journal) ~base_version
+
+let merge_ops t k ~ops ~base_version = integrate k ~parent:(get_cell t k) ~ops ~base_version
+
+let merge_child ~parent ~child ~base =
+  (* Key-id order = creation order: deterministic merge of multi-key
+     workspaces. *)
+  Imap.iter
+    (fun id (P (k, child_cell)) ->
+      match Imap.find_opt id parent.cells with
+      | Some (P (_, _)) ->
+        let parent_cell = get_cell parent k in
+        if Imap.mem id base then
+          merge_cell k ~parent:parent_cell ~child:child_cell ~base_version:(Versions.find id base)
+        else
+          (* The child initialized a key the parent also has: either the
+             parent initialized it independently (conflict) or gained it from
+             another child that initialized it (same conflict, one hop
+             later). *)
+          raise (Already_bound k.name)
+      | None ->
+        (* Key initialized inside the child: install a detached copy (the
+           child may keep mutating its own cell until it terminates). *)
+        let detached =
+          { state = child_cell.state
+          ; journal = Sm_util.Vec.copy child_cell.journal
+          ; offset = child_cell.offset
+          }
+        in
+        parent.cells <- Imap.add id (P (k, detached)) parent.cells)
+    child.cells
+
+let rebase_from t ~parent = t.cells <- Imap.map fresh_copy parent.cells
+
+let is_pristine t =
+  Imap.for_all (fun _ (P (_, c)) -> Sm_util.Vec.length c.journal = 0) t.cells
+
+let truncate t ~keep =
+  Imap.iter
+    (fun id (P (_, c)) ->
+      let keep_from = Versions.find id keep in
+      let drop = min (keep_from - c.offset) (Sm_util.Vec.length c.journal) in
+      if drop > 0 then begin
+        c.journal <- Sm_util.Vec.of_list (Sm_util.Vec.slice c.journal ~from:drop);
+        c.offset <- c.offset + drop
+      end)
+    t.cells
+
+let truncate_to_min t ~bases =
+  let keep =
+    Imap.mapi
+      (fun id (P (_, c)) ->
+        (* The oldest version any child's base still refers to; children whose
+           base lacks the key never merge it, so they impose no floor. *)
+        List.fold_left
+          (fun acc base -> match Imap.find_opt id base with None -> acc | Some v -> min acc v)
+          (cell_version c) bases)
+      t.cells
+  in
+  truncate t ~keep
+
+let digest t =
+  let h =
+    Imap.fold
+      (fun id (P (k, c)) acc ->
+        let module D = (val k.data) in
+        let cell_repr =
+          Format.asprintf "%d:%s:%s:%a" id D.type_name k.name D.pp_state c.state
+        in
+        Sm_util.Fnv.combine acc (Sm_util.Fnv.hash cell_repr))
+      t.cells (Sm_util.Fnv.hash "workspace")
+  in
+  Sm_util.Fnv.to_hex h
+
+let equal a b =
+  Imap.cardinal a.cells = Imap.cardinal b.cells
+  && Imap.for_all
+       (fun id (P (k, ca)) ->
+         match Imap.find_opt id b.cells with
+         | None -> false
+         | Some (P (_, _)) -> (
+           match find_cell b k with
+           | None -> false
+           | Some cb ->
+             let module D = (val k.data) in
+             D.equal_state ca.state cb.state))
+       a.cells
+
+let pp ppf t =
+  let pp_cell ppf (_, P (k, c)) =
+    let module D = (val k.data) in
+    Format.fprintf ppf "%s = %a" k.name D.pp_state c.state
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_cell)
+    (Imap.bindings t.cells)

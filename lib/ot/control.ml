@@ -1,0 +1,36 @@
+module Make (O : Op_sig.S) = struct
+  let apply_seq s ops = List.fold_left O.apply s ops
+
+  (* [cross] and [include_one] implement the classic recursive control
+     algorithm.  [include_one a right] threads a single operation [a]
+     through the whole concurrent sequence [right], collecting both a's
+     final form (possibly split into pieces) and [right] re-expressed to
+     apply after [a].  Termination: every recursive call strictly shortens
+     [right]. *)
+  let rec cross ~incoming ~applied ~tie =
+    match incoming with
+    | [] -> ([], applied)
+    | a :: rest ->
+      let a', applied' = include_one a ~applied ~tie in
+      let rest', applied'' = cross ~incoming:rest ~applied:applied' ~tie in
+      (a' @ rest', applied'')
+
+  and include_one a ~applied ~tie =
+    match applied with
+    | [] -> ([ a ], [])
+    | b :: bs ->
+      let a_pieces = O.transform a ~against:b ~tie in
+      let b_pieces = O.transform b ~against:a ~tie:(Side.flip tie) in
+      let a_final, bs' = cross ~incoming:a_pieces ~applied:bs ~tie in
+      (a_final, b_pieces @ bs')
+
+  let transform_op a ~against ~tie = fst (include_one a ~applied:against ~tie)
+  let transform_seq ops ~against ~tie = fst (cross ~incoming:ops ~applied:against ~tie)
+
+  let merge ~applied ~children ~tie =
+    List.fold_left
+      (fun serialized child ->
+        let child' = transform_seq child ~against:serialized ~tie in
+        serialized @ child')
+      applied children
+end

@@ -1,0 +1,41 @@
+(** The transformation control algorithm.
+
+    The paper splits an OT system into {e transformation functions} (the
+    per-type [transform] in each [Op_*] module) and a {e transformation
+    control algorithm} that decides which function is applied to which pair
+    of concurrent operations.  This module is the control side: it lifts
+    pairwise transforms to whole operation sequences and implements the
+    paper's [merge(ops_f, ops_g) -> ops_h] (equations (4)-(8)).
+
+    All functions are pure.  Sequences are ordered oldest-first, each
+    operation defined on the state produced by its predecessors. *)
+
+module Make (O : Op_sig.S) : sig
+  val apply_seq : O.state -> O.op list -> O.state
+  (** Fold [O.apply] over a sequence. *)
+
+  val transform_op : O.op -> against:O.op list -> tie:Side.policy -> O.op list
+  (** Include one operation into a concurrent sequence: the result applies
+      after [against] and preserves the operation's intention.  Note the
+      sequence is {e not} re-expressed against the operation; use {!cross}
+      when both directions are needed. *)
+
+  val cross : incoming:O.op list -> applied:O.op list -> tie:Side.policy -> O.op list * O.op list
+  (** [cross ~incoming ~applied ~tie] symmetrically transforms two concurrent
+      sequences that diverged from the same state: returns
+      [(incoming', applied')] such that [applied @ incoming'] and
+      [incoming @ applied'] produce {e the same} state (convergence), with
+      direct conflicts resolved for [incoming] per [tie] (and for [applied]
+      per the opposite side, keeping the rule consistent). *)
+
+  val transform_seq : O.op list -> against:O.op list -> tie:Side.policy -> O.op list
+  (** First component of {!cross}. *)
+
+  val merge : applied:O.op list -> children:O.op list list -> tie:Side.policy -> O.op list
+  (** The paper's Merge: serialize children's concurrent logs after the
+      parent's own operations, in the order given.  Returns the full
+      serialized sequence [applied @ child_1' @ child_2' @ ...]; applying it
+      to the spawn-time state yields the merged result.  Merge order is
+      significant: [merge ~children:[x; y] <> merge ~children:[y; x]] in
+      general. *)
+end

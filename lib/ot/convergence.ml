@@ -1,0 +1,21 @@
+module Make (O : Op_sig.S) = struct
+  module C = Control.Make (O)
+
+  let tp1 ~state ~a ~b ~a_wins =
+    (* When [a] is incoming it must win iff [a_wins]; when [b] is incoming it
+       must win iff [not a_wins] — one global priority, two viewpoints. *)
+    let tie_for_a = Side.uniform (if a_wins then Side.Incoming else Side.Applied) in
+    let tie_for_b = Side.flip tie_for_a in
+    let via_b = C.apply_seq (O.apply state b) (O.transform a ~against:b ~tie:tie_for_a) in
+    let via_a = C.apply_seq (O.apply state a) (O.transform b ~against:a ~tie:tie_for_b) in
+    O.equal_state via_b via_a
+
+  let seqs_converge ~state ~left ~right ~tie =
+    let left', right' = C.cross ~incoming:left ~applied:right ~tie in
+    let via_right = C.apply_seq (C.apply_seq state right) left' in
+    let via_left = C.apply_seq (C.apply_seq state left) right' in
+    O.equal_state via_right via_left
+
+  let merged_state ~state ~applied ~children =
+    C.apply_seq state (C.merge ~applied ~children ~tie:Side.serialization)
+  end

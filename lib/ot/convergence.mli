@@ -1,0 +1,23 @@
+(** Convergence checkers used by the property-test suites.
+
+    TP1 (transformation property 1) is the correctness condition for OT
+    systems with a linear/centralized history, which is exactly the
+    Spawn/Merge setting — every merge serializes child logs at the parent, so
+    TP2 (order independence of transformation against two concurrent
+    operations) is never exercised and need not hold. *)
+
+module Make (O : Op_sig.S) : sig
+  val tp1 : state:O.state -> a:O.op -> b:O.op -> a_wins:bool -> bool
+  (** [tp1 ~state ~a ~b ~a_wins] checks
+      [apply (apply s a) (IT b a) = apply (apply s b) (IT a b)] with the tie
+      consistently awarded to [a] iff [a_wins].  Both operations must be
+      applicable to [state]. *)
+
+  val seqs_converge : state:O.state -> left:O.op list -> right:O.op list -> tie:Side.policy -> bool
+  (** Checks that {!Control.Make.cross} makes two concurrent {e sequences}
+      converge: [apply (right) then left' = apply (left) then right']. *)
+
+  val merged_state : state:O.state -> applied:O.op list -> children:O.op list list -> O.state
+  (** Final parent state after a full deterministic merge; convenience for
+      comparing merge orders in tests. *)
+end

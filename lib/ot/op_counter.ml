@@ -1,0 +1,9 @@
+type state = int
+type op = Add of int
+
+let add n = Add n
+let apply s (Add n) = s + n
+let transform a ~against:_ ~tie:_ = [ a ]
+let equal_state = Int.equal
+let pp_state = Format.pp_print_int
+let pp_op ppf (Add n) = Format.fprintf ppf "add(%d)" n

@@ -1,0 +1,13 @@
+(** Mergeable integer counters.
+
+    [Add n] commutes with everything, so the inclusion transform is the
+    identity — the simplest possible mergeable type, and the one the network
+    simulation uses to track live messages across tasks. *)
+
+type state = int
+
+type op = Add of int
+
+include Op_sig.S with type state := state and type op := op
+
+val add : int -> op

@@ -1,0 +1,22 @@
+(** Mergeable lists: the paper's flagship example (Figures 1 and 2).
+
+    Operations are single-element [ins(i, x)], [del(i)] and [set(i, x)] on an
+    index-addressed list.  The inclusion transform shifts indices across
+    concurrent inserts/deletes, drops a delete or set whose target was deleted
+    concurrently, and breaks insert-insert and set-set ties by {!Side.t}. *)
+
+module Make (Elt : Op_sig.ELT) : sig
+  type elt = Elt.t
+  type state = elt list
+
+  type op =
+    | Ins of int * elt  (** [Ins (i, x)]: insert [x] before position [i]; [i] may equal the length (append). *)
+    | Del of int  (** [Del i]: delete the element at position [i]. *)
+    | Set of int * elt  (** [Set (i, x)]: replace the element at position [i]. *)
+
+  include Op_sig.S with type state := state and type op := op
+
+  val ins : int -> elt -> op
+  val del : int -> op
+  val set : int -> elt -> op
+end

@@ -1,0 +1,21 @@
+(** Mergeable dictionaries.
+
+    Operations on different keys commute; two operations on the same key are
+    a per-key register conflict ([Put]/[Put], [Put]/[Remove]) resolved by
+    {!Side.t}.  Removing an absent key is a no-op, keeping operations
+    idempotent. *)
+
+module Make (Key : Op_sig.ORDERED_ELT) (Value : Op_sig.ELT) : sig
+  module Key_map : Map.S with type key = Key.t
+
+  type state = Value.t Key_map.t
+
+  type op =
+    | Put of Key.t * Value.t
+    | Remove of Key.t
+
+  include Op_sig.S with type state := state and type op := op
+
+  val put : Key.t -> Value.t -> op
+  val remove : Key.t -> op
+end

@@ -1,0 +1,28 @@
+module Make (Elt : Op_sig.ELT) = struct
+  type state = Elt.t list
+
+  type op =
+    | Push of Elt.t
+    | Pop
+
+  let push x = Push x
+  let pop = Pop
+
+  let apply s = function
+    | Push x -> s @ [ x ]
+    | Pop -> ( match s with [] -> [] | _ :: rest -> rest)
+
+  (* Pushes append, pops consume a slot: every pair commutes by intention. *)
+  let transform a ~against:_ ~tie:_ = [ a ]
+
+  let equal_state = List.equal Elt.equal
+
+  let pp_state ppf s =
+    Format.fprintf ppf "<%a>"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Elt.pp)
+      s
+
+  let pp_op ppf = function
+    | Push x -> Format.fprintf ppf "push(%a)" Elt.pp x
+    | Pop -> Format.pp_print_string ppf "pop"
+end

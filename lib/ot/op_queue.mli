@@ -1,0 +1,30 @@
+(** Mergeable FIFO queues — the paper's [MergeableQueue] from the network
+    simulation (Listing 4).
+
+    Semantics are {e intention-based}:
+
+    - [Push x] appends [x] at the back.  Two concurrent pushes both survive a
+      merge; their relative order is the (deterministic) merge order.
+    - [Pop] means "consume one slot from the front", {e not} "remove the
+      element I saw".  Two concurrent pops therefore remove two elements
+      after merging, and a pop on an empty queue is a no-op — this makes
+      the transform of [Pop] against anything the identity and keeps k
+      concurrent pops removing exactly [min k length] elements.
+
+    The consume-a-slot intention is the right one for single-consumer queues
+    (each simulated host pops only its own queue).  A "remove that exact
+    element" intention would instead be an {!Op_list} delete. *)
+
+module Make (Elt : Op_sig.ELT) : sig
+  type state = Elt.t list
+  (** Front of the queue at the head of the list. *)
+
+  type op =
+    | Push of Elt.t
+    | Pop
+
+  include Op_sig.S with type state := state and type op := op
+
+  val push : Elt.t -> op
+  val pop : op
+end

@@ -1,0 +1,14 @@
+module Make (V : Op_sig.ELT) = struct
+  type state = V.t
+  type op = Assign of V.t
+
+  let assign v = Assign v
+  let apply _ (Assign v) = v
+
+  let transform a ~against:_ ~tie =
+    match a with Assign _ -> if Side.incoming_wins tie.Side.value then [ a ] else []
+
+  let equal_state = V.equal
+  let pp_state = V.pp
+  let pp_op ppf (Assign v) = Format.fprintf ppf "assign(%a)" V.pp v
+end

@@ -1,0 +1,16 @@
+(** Mergeable single-value registers.
+
+    [Assign v] replaces the whole value.  Two concurrent assignments are a
+    direct conflict resolved by {!Side.t}: under the runtime's
+    "later merged wins" policy the child merged last keeps its value —
+    deterministic because merge order is deterministic. *)
+
+module Make (V : Op_sig.ELT) : sig
+  type state = V.t
+
+  type op = Assign of V.t
+
+  include Op_sig.S with type state := state and type op := op
+
+  val assign : V.t -> op
+end

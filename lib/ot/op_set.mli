@@ -1,0 +1,21 @@
+(** Mergeable sets.
+
+    [Add x] and [Remove x] are idempotent, so operations on {e different}
+    elements — and identical operations on the same element — commute freely.
+    The only direct conflict is a concurrent [Add x] / [Remove x] pair, which
+    {!Side.t} resolves: the losing operation is dropped. *)
+
+module Make (Elt : Op_sig.ORDERED_ELT) : sig
+  module Elt_set : Set.S with type elt = Elt.t
+
+  type state = Elt_set.t
+
+  type op =
+    | Add of Elt.t
+    | Remove of Elt.t
+
+  include Op_sig.S with type state := state and type op := op
+
+  val add : Elt.t -> op
+  val remove : Elt.t -> op
+end

@@ -1,0 +1,47 @@
+(** Signatures shared by all operation types of the OT substrate.
+
+    Every mergeable data structure is described by a module of type {!S}: a
+    state, an operation type, an interpreter [apply], and an inclusion
+    transform [transform].  The transformation control algorithm
+    ({!module:Control}) and the Spawn/Merge runtime are parametric in {!S}. *)
+
+(** Element of a container (list, queue, ...). *)
+module type ELT = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Element with a total order (sets, map keys). *)
+module type ORDERED_ELT = sig
+  include ELT
+
+  val compare : t -> t -> int
+end
+
+(** An operation type together with its interpreter and inclusion transform. *)
+module type S = sig
+  type state
+  type op
+
+  val apply : state -> op -> state
+  (** [apply s op] interprets [op] on [s].  States are persistent: the input
+      is never mutated.  Operations produced by user-facing accessors against
+      the current state are always in range; [apply] raises
+      [Invalid_argument] on positions that no correct transform can produce,
+      which turns transformation bugs into loud failures. *)
+
+  val transform : op -> against:op -> tie:Side.policy -> op list
+  (** [transform a ~against:b ~tie] is the inclusion transform IT(a, b): it
+      rewrites [a] — defined on the same state as [b] — so that the result
+      applies {e after} [b] while preserving [a]'s intention.  The result is
+      a list because an operation can be split (a range delete around a
+      concurrent insert) or dropped entirely (deleting an element someone
+      already deleted).  [tie] resolves direct conflicts; see {!Side}. *)
+
+  val equal_state : state -> state -> bool
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+end

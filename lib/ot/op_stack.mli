@@ -1,0 +1,35 @@
+(** Mergeable stacks (LIFO).
+
+    Contrast with {!Op_queue}: a queue pop means "consume one slot", so two
+    concurrent pops remove two elements.  A stack pop is positional —
+    "remove {e that} element" (the top the task saw, [Pop_at 0] at recording
+    time) — so two concurrent pops of the same element collapse into one
+    removal, exactly like two list deletes of the same index.  Operations
+    are a specialization of {!Op_list}: pushes insert at position 0,
+    [Pop_at] deletes a tracked position that concurrent operations shift.
+
+    Merge ordering note: under the runtime's serialization tie policy an
+    earlier-merged child's pushes stay {e closer to the top} than a
+    later-merged sibling's (positional ties go to the already-applied
+    side) — deterministic, just not "later push on top" across tasks. *)
+
+module Make (Elt : Op_sig.ELT) : sig
+  type state = Elt.t list
+  (** Top of the stack at the head. *)
+
+  type op =
+    | Push_at of int * Elt.t
+        (** [Push_at (i, x)]: insert at depth [i]; user code records
+            [Push_at (0, x)], transforms may shift it deeper. *)
+    | Pop_at of int
+        (** [Pop_at i]: remove the element currently at depth [i]; user code
+            records [Pop_at 0], transforms may shift it deeper. *)
+
+  include Op_sig.S with type state := state and type op := op
+
+  val push : Elt.t -> op
+  (** [Push_at (0, x)]. *)
+
+  val pop : op
+  (** [Pop_at 0]. *)
+end

@@ -1,0 +1,56 @@
+type state = string
+
+type op =
+  | Ins of int * string
+  | Del of int * int
+
+let ins pos s = Ins (pos, s)
+
+let del ~pos ~len =
+  if len <= 0 then invalid_arg "Op_text.del: len must be positive";
+  Del (pos, len)
+
+let apply s op =
+  let n = String.length s in
+  match op with
+  | Ins (pos, t) ->
+    if pos < 0 || pos > n then
+      invalid_arg (Printf.sprintf "Op_text.apply: ins position %d out of range (len %d)" pos n);
+    String.sub s 0 pos ^ t ^ String.sub s pos (n - pos)
+  | Del (pos, len) ->
+    if len <= 0 then invalid_arg "Op_text.apply: non-positive delete length";
+    if pos < 0 || pos + len > n then
+      invalid_arg (Printf.sprintf "Op_text.apply: del range [%d,%d) out of range (len %d)" pos (pos + len) n);
+    String.sub s 0 pos ^ String.sub s (pos + len) (n - pos - len)
+
+let transform a ~against:b ~tie =
+  match a, b with
+  | Ins (p, s), Ins (q, t) ->
+    if q < p || (q = p && not (Side.incoming_wins tie.Side.position)) then [ Ins (p + String.length t, s) ]
+    else [ Ins (p, s) ]
+  | Ins (p, s), Del (q, l) ->
+    if p <= q then [ Ins (p, s) ]
+    else if p >= q + l then [ Ins (p - l, s) ]
+    else [ Ins (q, s) ] (* insertion point was deleted: collapse to the hole *)
+  | Del (p, l), Ins (q, t) ->
+    let tl = String.length t in
+    if q <= p then [ Del (p + tl, l) ]
+    else if q >= p + l then [ Del (p, l) ]
+    else
+      (* the insert landed strictly inside the deleted range: delete the part
+         before it, then (in post-first-delete coordinates) the part after *)
+      [ Del (p, q - p); Del (p + tl, l - (q - p)) ]
+  | Del (p, l), Del (q, m) ->
+    let overlap = max 0 (min (p + l) (q + m) - max p q) in
+    let remaining = l - overlap in
+    if remaining = 0 then []
+    else
+      let p' = if p <= q then p else if p >= q + m then p - m else q in
+      [ Del (p', remaining) ]
+
+let equal_state = String.equal
+let pp_state ppf s = Format.fprintf ppf "%S" s
+
+let pp_op ppf = function
+  | Ins (p, s) -> Format.fprintf ppf "ins(%d, %S)" p s
+  | Del (p, l) -> Format.fprintf ppf "del(%d, %d)" p l

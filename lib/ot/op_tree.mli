@@ -1,0 +1,47 @@
+(** Mergeable ordered trees (TreeOPT-style, after Ignat & Norrie, cited as
+    [4] in the paper).
+
+    The state is a forest of labelled, ordered nodes.  Operations address
+    nodes by {e paths} — child indices from the root level down:
+
+    - [Insert (p, n)]: the last component of [p] is a {e gap index} in the
+      target sibling list (0 .. length, like a list insert); the leading
+      components navigate to the parent.
+    - [Delete p] removes the node at [p] {e and its whole subtree}.
+    - [Relabel (p, l)] replaces the label at [p].
+
+    Transforms shift sibling indices level by level exactly like
+    {!Op_list} does for flat lists, and drop operations whose target was
+    swallowed by a concurrent subtree deletion. *)
+
+module Make (Label : Op_sig.ELT) : sig
+  type node =
+    { label : Label.t
+    ; children : node list
+    }
+
+  type state = node list
+  (** The root sibling list. *)
+
+  type path = int list
+
+  type op =
+    | Insert of path * node
+    | Delete of path
+    | Relabel of path * Label.t
+
+  include Op_sig.S with type state := state and type op := op
+
+  val leaf : Label.t -> node
+  val branch : Label.t -> node list -> node
+
+  val insert : path -> node -> op
+  val delete : path -> op
+  val relabel : path -> Label.t -> op
+
+  val find : state -> path -> node option
+  (** Node addressed by a path, if any. *)
+
+  val size : state -> int
+  (** Total number of nodes in the forest. *)
+end

@@ -1,0 +1,20 @@
+type t =
+  | Incoming
+  | Applied
+
+type policy =
+  { position : t
+  ; value : t
+  }
+
+let opposite = function Incoming -> Applied | Applied -> Incoming
+let incoming_wins = function Incoming -> true | Applied -> false
+let uniform side = { position = side; value = side }
+let serialization = { position = Applied; value = Incoming }
+let flip p = { position = opposite p.position; value = opposite p.value }
+
+let pp ppf = function
+  | Incoming -> Format.pp_print_string ppf "incoming"
+  | Applied -> Format.pp_print_string ppf "applied"
+
+let pp_policy ppf p = Format.fprintf ppf "{position=%a; value=%a}" pp p.position pp p.value

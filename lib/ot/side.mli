@@ -1,0 +1,55 @@
+(** Tie-breaking policies for inclusion transforms.
+
+    Operational transformation must resolve {e direct conflicts} by a rule
+    both "sides" of a transformation apply consistently, otherwise the
+    transformed histories diverge (violating convergence/TP1).  A transform
+    call [transform a ~against:b ~tie] names [a] the {e incoming} operation
+    (being rewritten to apply after [b]) and [b] the {e applied} one.
+
+    Conflicts come in two independent classes, so a {!policy} carries one
+    side per class:
+
+    - {b positional ties} — two inserts at the same list/text/tree position.
+      The winning side's element ends up first (leftmost).
+    - {b value conflicts} — two assignments to the same register, map key or
+      list slot, an add/remove pair on the same set element, two relabels of
+      the same tree node.  The winning side's intention survives; the loser
+      is dropped.
+
+    The control algorithm ({!Control}) keeps a policy consistent by
+    {!flip}ping it when transforming the opposite history.  The Spawn/Merge
+    runtime merges with {!serialization}: child operations behave as if they
+    executed {e after} the parent's — they keep out of the parent's inserted
+    positions (position = [Applied]) but overwrite conflicting values
+    (value = [Incoming], "later merged wins").  This reproduces the paper's
+    Listing 1 result [\[1;2;3;4;5\]] and makes merge order significant:
+    [merge (x, y) <> merge (y, x)]. *)
+
+type t =
+  | Incoming  (** the operation being transformed wins *)
+  | Applied  (** the operation transformed against wins *)
+
+type policy =
+  { position : t  (** who wins equal-position insert ties *)
+  ; value : t  (** who wins same-target value conflicts *)
+  }
+
+val opposite : t -> t
+
+val incoming_wins : t -> bool
+
+val uniform : t -> policy
+(** Same side for both conflict classes. *)
+
+val serialization : policy
+(** [{ position = Applied; value = Incoming }] — the runtime's merge policy:
+    later-merged operations order after earlier ones and win value
+    conflicts. *)
+
+val flip : policy -> policy
+(** Swap the viewpoint: what [Incoming] wins on one side, [Applied] wins on
+    the other. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_policy : Format.formatter -> policy -> unit

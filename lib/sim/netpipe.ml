@@ -1,0 +1,26 @@
+type conn =
+  { incoming : string Sm_util.Bqueue.t
+  ; outgoing : string Sm_util.Bqueue.t
+  }
+
+type listener = { backlog : conn Sm_util.Bqueue.t }
+
+let listen () = { backlog = Sm_util.Bqueue.create () }
+
+let connect l =
+  let a = Sm_util.Bqueue.create () and b = Sm_util.Bqueue.create () in
+  let client = { incoming = a; outgoing = b } in
+  let server = { incoming = b; outgoing = a } in
+  (try Sm_util.Bqueue.push l.backlog server
+   with Invalid_argument _ -> invalid_arg "Netpipe.connect: listener is shut down");
+  client
+
+let accept l = Sm_util.Bqueue.pop l.backlog
+let send c msg = try Sm_util.Bqueue.push c.outgoing msg with Invalid_argument _ -> ()
+let recv c = Sm_util.Bqueue.pop c.incoming
+
+let close c =
+  Sm_util.Bqueue.close c.incoming;
+  Sm_util.Bqueue.close c.outgoing
+
+let shutdown l = Sm_util.Bqueue.close l.backlog

@@ -1,0 +1,39 @@
+(** An in-process TCP stand-in for the server-software example (Listing 3).
+
+    The paper's server accepts TCP connections; the sealed build environment
+    has no network, so this module provides the same blocking surface —
+    [accept], [recv], [send], [close] — over thread-safe in-memory pipes.
+    It exercises exactly the code paths the example needs: a blocking accept
+    loop (the [Clone] pattern) and per-connection blocking reads (tasks that
+    outlive many requests via [Sync]). *)
+
+type listener
+(** A listening endpoint clients connect to. *)
+
+type conn
+(** One endpoint of an established bidirectional connection. *)
+
+val listen : unit -> listener
+
+val connect : listener -> conn
+(** Client side: establish a connection; returns the client endpoint.
+    @raise Invalid_argument if the listener is shut down. *)
+
+val accept : listener -> conn option
+(** Server side: block until a client connects; [None] after
+    {!shutdown}. *)
+
+val send : conn -> string -> unit
+(** Never blocks (unbounded pipe).  Sending on a closed connection is a
+    silent no-op, like writing to a socket the peer already closed — the
+    reader is gone either way. *)
+
+val recv : conn -> string option
+(** Block until a message arrives; [None] once the peer closed and the pipe
+    drained. *)
+
+val close : conn -> unit
+(** Close both directions; idempotent. *)
+
+val shutdown : listener -> unit
+(** Stop accepting: blocked and future {!accept}s return [None]. *)

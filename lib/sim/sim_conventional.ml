@@ -1,0 +1,33 @@
+(* One thread per host; queues are the blocking queues from Sm_util.  The
+   live-message counter is the only other shared state: it hits zero exactly
+   when the last message dies, at which point that host closes every queue
+   and the blocked threads drain out. *)
+
+let run (c : Workload.config) =
+  Workload.validate c;
+  let queues = Array.init c.hosts (fun _ -> Sm_util.Bqueue.create ()) in
+  let live = Atomic.make c.messages in
+  let trace = Workload.Trace.create ~hosts:c.hosts in
+  let host_body i () =
+    let rec loop () =
+      match Sm_util.Bqueue.pop queues.(i) with
+      | None -> () (* queues closed: simulation over *)
+      | Some m ->
+        Workload.Trace.record trace ~host:i m;
+        (match Workload.process c ~host:i m with
+        | Some m', destination -> Sm_util.Bqueue.push queues.(destination) m'
+        | None, _ ->
+          if Atomic.fetch_and_add live (-1) = 1 then
+            (* last message died: wake everyone up *)
+            Array.iter Sm_util.Bqueue.close queues);
+        loop ()
+    in
+    loop ()
+  in
+  let start = Unix.gettimeofday () in
+  let threads = Array.init c.hosts (fun i -> Thread.create (host_body i) ()) in
+  List.iter
+    (fun (host, m) -> Sm_util.Bqueue.push queues.(host) m)
+    (Workload.initial_messages c);
+  Array.iter Thread.join threads;
+  Workload.Trace.finish trace ~elapsed_s:(Unix.gettimeofday () -. start)

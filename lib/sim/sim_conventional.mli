@@ -1,0 +1,15 @@
+(** The conventional baseline (Section III): one thread per simulated host,
+    each performing a blocking read on its own Mutex/Condition-guarded
+    incoming queue, SHA-1 processing, and a push to the destination's queue.
+
+    With [Hash_destination] two hosts can push to the same recipient
+    concurrently — the processing order at that recipient is
+    timing-dependent, so the {!Workload.report.order_digest} may vary
+    between runs: this is the inherent non-determinism the paper's
+    Spawn/Merge design removes.  With [Ring_destination] every queue has a
+    single producer and the run is deterministic by construction. *)
+
+val run : Workload.config -> Workload.report
+(** Execute the simulation to completion (every message's TTL exhausted)
+    and report.  Spawns [config.hosts] threads; they all exit before [run]
+    returns. *)

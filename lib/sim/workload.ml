@@ -1,0 +1,144 @@
+type mode =
+  | Hash_destination
+  | Ring_destination
+
+type topology =
+  | Full
+  | Ring_topology
+  | Star
+  | Grid
+
+type config =
+  { hosts : int
+  ; messages : int
+  ; ttl : int
+  ; load : int
+  ; mode : mode
+  ; topology : topology
+  ; seed : int64
+  }
+
+let default =
+  { hosts = 20
+  ; messages = 100
+  ; ttl = 100
+  ; load = 0
+  ; mode = Hash_destination
+  ; topology = Full
+  ; seed = 1L
+  }
+
+(* Forwarding candidates under the topology.  Self-loops are allowed only in
+   the degenerate 1-host network. *)
+let neighbours c host =
+  let n = c.hosts in
+  if n = 1 then [ host ]
+  else
+    match c.topology with
+    | Full -> List.filter (fun h -> h <> host) (List.init n Fun.id)
+    | Ring_topology ->
+      let prev = (host + n - 1) mod n and next = (host + 1) mod n in
+      if prev = next then [ next ] else [ prev; next ]
+    | Star -> if host = 0 then List.init (n - 1) (fun i -> i + 1) else [ 0 ]
+    | Grid ->
+      let side = int_of_float (ceil (sqrt (float_of_int n))) in
+      let row = host / side and col = host mod side in
+      List.filter_map
+        (fun (dr, dc) ->
+          let r = row + dr and c' = col + dc in
+          let h = (r * side) + c' in
+          if r >= 0 && c' >= 0 && c' < side && h < n then Some h else None)
+        [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
+
+let validate c =
+  if c.hosts <= 0 then invalid_arg "Workload: hosts must be positive";
+  if c.messages <= 0 then invalid_arg "Workload: messages must be positive";
+  if c.ttl <= 0 then invalid_arg "Workload: ttl must be positive";
+  if c.load < 0 then invalid_arg "Workload: load must be non-negative"
+
+type message =
+  { payload : string
+  ; ttl_left : int
+  }
+
+let pp_message ppf m =
+  Format.fprintf ppf "{ttl=%d payload=%s}" m.ttl_left
+    (Sm_util.Fnv.to_hex (Sm_util.Fnv.hash m.payload))
+
+let equal_message a b = a.ttl_left = b.ttl_left && String.equal a.payload b.payload
+
+let initial_messages c =
+  validate c;
+  let rng = Sm_util.Det_rng.create ~seed:c.seed in
+  List.init c.messages (fun i ->
+      (i mod c.hosts, { payload = Sm_util.Det_rng.bytes rng ~len:16; ttl_left = c.ttl }))
+
+let total_hops c = c.messages * c.ttl
+
+(* Destination derivation: fold the first 8 payload bytes into a
+   non-negative int.  For hash mode the digest of the *worked* payload
+   decides, so the destination really costs the configured load. *)
+let bytes_to_host s hosts =
+  let h = Sm_util.Fnv.hash s in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int hosts))
+
+let process c ~host m =
+  let worked = Sm_util.Sha1.iterate m.payload ~times:c.load in
+  let next_payload = Sm_util.Sha1.digest worked in
+  let destination =
+    match c.mode with
+    | Hash_destination -> (
+      match c.topology with
+      | Full -> bytes_to_host next_payload c.hosts
+      | Ring_topology | Star | Grid ->
+        let candidates = neighbours c host in
+        List.nth candidates (bytes_to_host next_payload (List.length candidates)))
+    | Ring_destination -> (host + 1) mod c.hosts
+  in
+  if m.ttl_left <= 1 then (None, destination)
+  else (Some { payload = next_payload; ttl_left = m.ttl_left - 1 }, destination)
+
+type report =
+  { elapsed_s : float
+  ; hops : int
+  ; per_host : int array
+  ; event_digest : string
+  ; order_digest : string
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "hops=%d elapsed=%.3fs events=%s order=%s" r.hops r.elapsed_s r.event_digest
+    r.order_digest
+
+module Trace = struct
+  type t =
+    { counts : int array
+    ; unordered : int64 array  (** per-host XOR of event hashes: multiset digest *)
+    ; chains : int64 array  (** per-host order-sensitive chain *)
+    }
+
+  let create ~hosts =
+    { counts = Array.make hosts 0
+    ; unordered = Array.make hosts 0L
+    ; chains = Array.make hosts (Sm_util.Fnv.hash "chain")
+    }
+
+  let record t ~host m =
+    let event = Sm_util.Fnv.hash (Printf.sprintf "%d:%d:%s" host m.ttl_left m.payload) in
+    t.counts.(host) <- t.counts.(host) + 1;
+    t.unordered.(host) <- Int64.logxor t.unordered.(host) event;
+    t.chains.(host) <- Sm_util.Fnv.combine t.chains.(host) event
+
+  let finish t ~elapsed_s =
+    let fold f init arr =
+      (* hosts combined in index order so the aggregate is host-order
+         stable *)
+      Array.fold_left f init arr
+    in
+    { elapsed_s
+    ; hops = Array.fold_left ( + ) 0 t.counts
+    ; per_host = Array.copy t.counts
+    ; event_digest = Sm_util.Fnv.to_hex (fold Sm_util.Fnv.combine (Sm_util.Fnv.hash "events") t.unordered)
+    ; order_digest = Sm_util.Fnv.to_hex (fold Sm_util.Fnv.combine (Sm_util.Fnv.hash "order") t.chains)
+    }
+end

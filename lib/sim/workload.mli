@@ -1,0 +1,101 @@
+(** The evaluation workload (Section III).
+
+    A network of [hosts] simulated hosts exchanges [messages] initial
+    messages, each with a time-to-live of [ttl] hops.  Processing one hop
+    costs [load] SHA-1 iterations over the payload — the paper's knob [l]
+    "to create some unpredictable processing load".  The next payload is the
+    final digest, so content evolves deterministically hop by hop, and the
+    destination rule is either
+
+    - {e non-deterministic} (in the conventional implementation): derived
+      from the processed payload's hash, so several hosts may target the
+      same recipient concurrently; or
+    - {e deterministic}: the ring [(host + 1) mod hosts], the paper's way of
+      removing the race by construction.
+
+    Both simulator implementations share this module bit for bit, so any
+    output difference comes from synchronization, not workload. *)
+
+type mode =
+  | Hash_destination  (** the "non-deterministic" simulation *)
+  | Ring_destination  (** the "deterministic" simulation *)
+
+(** Which hosts a host may forward to ([Hash_destination] picks among the
+    neighbours by payload hash; [Ring_destination] ignores topology).
+    [Full] is the paper's setup — any host can message any other. *)
+type topology =
+  | Full
+  | Ring_topology  (** neighbours [h-1] and [h+1] (mod n) *)
+  | Star  (** host 0 is the hub; leaves only talk to it *)
+  | Grid  (** 4-neighbourhood on a [ceil sqrt n] square, no wraparound *)
+
+type config =
+  { hosts : int
+  ; messages : int
+  ; ttl : int
+  ; load : int  (** SHA-1 iterations per hop *)
+  ; mode : mode
+  ; topology : topology
+  ; seed : int64
+  }
+
+val default : config
+(** The paper's base setup: 20 hosts, 100 messages, TTL 100, load 0,
+    hash destinations, full topology, seed 1. *)
+
+val neighbours : config -> int -> int list
+(** The hosts that [host] may forward to under the configured topology;
+    always non-empty for valid configs, never contains the host itself
+    (except a 1-host network, where it is [\[host\]]). *)
+
+val validate : config -> unit
+(** @raise Invalid_argument on non-positive hosts/messages/ttl or negative
+    load. *)
+
+type message =
+  { payload : string
+  ; ttl_left : int
+  }
+
+val pp_message : Format.formatter -> message -> unit
+
+val equal_message : message -> message -> bool
+
+val initial_messages : config -> (int * message) list
+(** The [messages] initial messages with their starting hosts
+    (round-robin), payloads drawn from the seeded deterministic RNG. *)
+
+val total_hops : config -> int
+(** [messages * ttl] — every message is processed exactly [ttl] times. *)
+
+val process : config -> host:int -> message -> message option * int
+(** One hop at [host]: burn [load] SHA-1 iterations, build the successor
+    message and its destination.  [None] when the message just died (TTL
+    exhausted); the [int] is the destination host (meaningless for a dead
+    message, returned for trace symmetry). *)
+
+type report =
+  { elapsed_s : float
+  ; hops : int  (** total messages processed across hosts *)
+  ; per_host : int array  (** hops processed by each host *)
+  ; event_digest : string
+      (** order-insensitive digest over (host, payload) processing events —
+          equal for any two runs that processed the same multiset of work *)
+  ; order_digest : string
+      (** order-sensitive: per-host event chains, combined — detects
+          reordered processing even when the multiset matches *)
+  }
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Mutable trace used by both implementations to build a {!report}; each
+    host writes only its own slot, so recording needs no locks. *)
+module Trace : sig
+  type t
+
+  val create : hosts:int -> t
+
+  val record : t -> host:int -> message -> unit
+
+  val finish : t -> elapsed_s:float -> report
+end

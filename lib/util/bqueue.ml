@@ -1,0 +1,46 @@
+type 'a t =
+  { q : 'a Queue.t
+  ; m : Mutex.t
+  ; cv : Condition.t
+  ; mutable closed : bool
+  }
+
+let create () = { q = Queue.create (); m = Mutex.create (); cv = Condition.create (); closed = false }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
+
+let push t x =
+  with_lock t (fun () ->
+      if t.closed then invalid_arg "Bqueue.push: closed queue";
+      Queue.push x t.q;
+      Condition.signal t.cv)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.cv t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let try_pop t = with_lock t (fun () -> if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+let length t = with_lock t (fun () -> Queue.length t.q)
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cv)
+
+let is_closed t = with_lock t (fun () -> t.closed)

@@ -1,0 +1,32 @@
+(** Thread-safe blocking FIFO queues (Mutex + Condition).
+
+    Two consumers in the repository:
+    - the executor's per-domain job inbox, and
+    - the conventional (lock-based) network-simulator baseline, where each
+      simulated host owns one incoming queue and performs a blocking [pop] —
+      exactly the structure the paper's evaluation section describes.
+
+    Closing a queue wakes all blocked consumers; a closed, drained queue
+    yields [None] from {!pop}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an element is available or the queue is closed and drained.
+    [None] only after [close]. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking variant; [None] when currently empty. *)
+
+val length : 'a t -> int
+
+val close : 'a t -> unit
+(** Idempotent.  Subsequent [push]es fail; blocked and future [pop]s return
+    remaining elements, then [None]. *)
+
+val is_closed : 'a t -> bool

@@ -1,0 +1,183 @@
+exception Decode_error of string
+
+type writer = Buffer.t
+
+type reader =
+  { src : string
+  ; mutable pos : int
+  }
+
+type 'a t =
+  { write : writer -> 'a -> unit
+  ; read : reader -> 'a
+  }
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
+
+let byte r =
+  if r.pos >= String.length r.src then fail "truncated input at %d" r.pos;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+(* LEB128 on the zig-zag transform, so negative ints stay short. *)
+let write_uvarint buf v =
+  let rec go v =
+    let low = Int64.to_int (Int64.logand v 0x7FL) in
+    let rest = Int64.shift_right_logical v 7 in
+    if Int64.equal rest 0L then Buffer.add_char buf (Char.chr low)
+    else begin
+      Buffer.add_char buf (Char.chr (low lor 0x80));
+      go rest
+    end
+  in
+  go v
+
+let read_uvarint r =
+  let rec go shift acc =
+    if shift > 63 then fail "varint too long at %d" r.pos;
+    let b = byte r in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0L
+
+let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
+let unzigzag v = Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L))
+
+let int64 =
+  { write = (fun buf v -> write_uvarint buf (zigzag v))
+  ; read = (fun r -> unzigzag (read_uvarint r))
+  }
+
+let int =
+  { write = (fun buf v -> int64.write buf (Int64.of_int v))
+  ; read =
+      (fun r ->
+        let v = int64.read r in
+        if Int64.of_int (Int64.to_int v) <> v then fail "int overflow";
+        Int64.to_int v)
+  }
+
+let bool =
+  { write = (fun buf b -> Buffer.add_char buf (if b then '\001' else '\000'))
+  ; read =
+      (fun r ->
+        match byte r with 0 -> false | 1 -> true | b -> fail "invalid bool byte %d" b)
+  }
+
+let float =
+  { write = (fun buf f -> write_uvarint buf (Int64.bits_of_float f))
+  ; read = (fun r -> Int64.float_of_bits (read_uvarint r))
+  }
+
+let string =
+  { write =
+      (fun buf s ->
+        write_uvarint buf (Int64.of_int (String.length s));
+        Buffer.add_string buf s)
+  ; read =
+      (fun r ->
+        let n = Int64.to_int (read_uvarint r) in
+        if n < 0 || r.pos + n > String.length r.src then fail "bad string length %d at %d" n r.pos;
+        let s = String.sub r.src r.pos n in
+        r.pos <- r.pos + n;
+        s)
+  }
+
+let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
+
+let list elt =
+  { write =
+      (fun buf xs ->
+        write_uvarint buf (Int64.of_int (List.length xs));
+        List.iter (elt.write buf) xs)
+  ; read =
+      (fun r ->
+        let n = Int64.to_int (read_uvarint r) in
+        if n < 0 then fail "negative list length";
+        List.init n (fun _ -> elt.read r))
+  }
+
+let array elt =
+  let of_l = list elt in
+  { write = (fun buf xs -> of_l.write buf (Array.to_list xs))
+  ; read = (fun r -> Array.of_list (of_l.read r))
+  }
+
+let option elt =
+  { write =
+      (fun buf -> function
+        | None -> bool.write buf false
+        | Some v ->
+          bool.write buf true;
+          elt.write buf v)
+  ; read = (fun r -> if bool.read r then Some (elt.read r) else None)
+  }
+
+let pair a b =
+  { write =
+      (fun buf (x, y) ->
+        a.write buf x;
+        b.write buf y)
+  ; read =
+      (fun r ->
+        let x = a.read r in
+        let y = b.read r in
+        (x, y))
+  }
+
+let triple a b c =
+  { write =
+      (fun buf (x, y, z) ->
+        a.write buf x;
+        b.write buf y;
+        c.write buf z)
+  ; read =
+      (fun r ->
+        let x = a.read r in
+        let y = b.read r in
+        let z = c.read r in
+        (x, y, z))
+  }
+
+let map inj prj c =
+  { write = (fun buf v -> c.write buf (inj v)); read = (fun r -> prj (c.read r)) }
+
+let tagged ~tag ~write ~read =
+  { write =
+      (fun buf v ->
+        int.write buf (tag v);
+        write buf v)
+  ; read =
+      (fun r ->
+        let t = int.read r in
+        read t r)
+  }
+
+module W = struct
+  let int = int.write
+  let int64 = int64.write
+  let bool = bool.write
+  let string = string.write
+  let value c = c.write
+end
+
+module R = struct
+  let int = int.read
+  let int64 = int64.read
+  let bool = bool.read
+  let string = string.read
+  let value c = c.read
+end
+
+let encode c v =
+  let buf = Buffer.create 64 in
+  c.write buf v;
+  Buffer.contents buf
+
+let decode c s =
+  let r = { src = s; pos = 0 } in
+  let v = c.read r in
+  if r.pos <> String.length s then fail "trailing garbage: %d of %d bytes consumed" r.pos (String.length s);
+  v

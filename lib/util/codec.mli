@@ -1,0 +1,79 @@
+(** Binary codecs: serialize operation logs and states for the distributed
+    Spawn/Merge runtime ({!Sm_dist}).
+
+    Combinator style: build a ['a t] from the primitives and [map]/[list]/
+    [pair]/..., then {!encode}/{!decode} whole values.  The format is a
+    straightforward length-prefixed/varint encoding — compact, endianness-
+    free, and with no OCaml-specific representation leakage (unlike
+    [Marshal]), which is what a wire protocol between simulated MPI ranks
+    should look like. *)
+
+type 'a t
+
+exception Decode_error of string
+(** Raised by {!decode} on truncated or malformed input. *)
+
+val encode : 'a t -> 'a -> string
+
+val decode : 'a t -> string -> 'a
+(** @raise Decode_error on malformed input or trailing garbage. *)
+
+(** {1 Primitives} *)
+
+val int : int t
+(** Zig-zag varint: small magnitudes are small on the wire. *)
+
+val int64 : int64 t
+
+val bool : bool t
+
+val float : float t
+
+val string : string t
+(** Length-prefixed bytes. *)
+
+val unit : unit t
+
+(** {1 Combinators} *)
+
+val list : 'a t -> 'a list t
+
+val array : 'a t -> 'a array t
+
+val option : 'a t -> 'a option t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
+(** [map inj prj c]: encode ['a] by projecting to ['b] with [inj]... note
+    argument order: [inj : 'a -> 'b] is used when writing, [prj] when
+    reading. *)
+
+type writer = Buffer.t
+
+type reader
+
+val tagged :
+  tag:('a -> int) -> write:(writer -> 'a -> unit) -> read:(int -> reader -> 'a) -> 'a t
+(** Variants: [tag] names the constructor, [write] emits its payload,
+    [read tag] rebuilds the value ([read] may raise {!Decode_error} on an
+    unknown tag).  Payload access goes through {!W} and {!R}. *)
+
+(** Low-level access for {!tagged} payloads. *)
+module W : sig
+  val int : writer -> int -> unit
+  val int64 : writer -> int64 -> unit
+  val bool : writer -> bool -> unit
+  val string : writer -> string -> unit
+  val value : 'a t -> writer -> 'a -> unit
+end
+
+module R : sig
+  val int : reader -> int
+  val int64 : reader -> int64
+  val bool : reader -> bool
+  val string : reader -> string
+  val value : 'a t -> reader -> 'a
+end

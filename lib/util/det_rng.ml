@@ -1,0 +1,66 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: expands a 64-bit seed into the xoshiro state.  Reference:
+   Steele, Lea, Flood, "Fast splittable pseudorandom number generators". *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let u = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 u;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(int64 t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Det_rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t =
+  let bits53 = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+let pick t = function
+  | [] -> invalid_arg "Det_rng.pick: empty list"
+  | xs -> List.nth xs (int t ~bound:(List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let bytes t ~len =
+  String.init len (fun _ -> Char.chr (int t ~bound:256))

@@ -1,0 +1,12 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let hash s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let combine a b = Int64.mul (Int64.logxor (Int64.mul a prime) b) prime
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,15 @@
+(** FNV-1a 64-bit hashing — cheap, stable string digests.
+
+    Workspace digests in the determinism oracle hash the pretty-printed state
+    of every mergeable value; FNV keeps that cheap enough to run after every
+    simulation cycle.  Collisions merely weaken the oracle (two diverging runs
+    could in principle collide), so equality checks back the digests in unit
+    tests. *)
+
+val hash : string -> int64
+(** FNV-1a over the bytes of the string. *)
+
+val combine : int64 -> int64 -> int64
+(** Order-sensitive combination of two hashes. *)
+
+val to_hex : int64 -> string

@@ -1,0 +1,48 @@
+type packed = ..
+
+type 'a key =
+  { id : int
+  ; name : string
+  ; inj : 'a -> packed
+  ; prj : packed -> 'a option
+  }
+
+let next_id = Atomic.make 0
+
+module Key = struct
+  let create (type a) ~name : a key =
+    let module M = struct
+      type packed += B of a
+    end in
+    let inj v = M.B v in
+    let prj = function M.B v -> Some v | _ -> None in
+    { id = Atomic.fetch_and_add next_id 1; name; inj; prj }
+
+  let name k = k.name
+  let id k = k.id
+end
+
+module Imap = Map.Make (Int)
+
+type binding = B : 'a key * 'a -> binding
+
+(* Values are stored packed; the key id recovers the binding.  We keep the
+   [binding] itself (key + packed payload) so [fold] can expose the key. *)
+type t = binding Imap.t
+
+let empty = Imap.empty
+let is_empty = Imap.is_empty
+let cardinal = Imap.cardinal
+let add k v m = Imap.add k.id (B (k, v)) m
+
+let find (type a) (k : a key) (m : t) : a option =
+  match Imap.find_opt k.id m with
+  | None -> None
+  | Some (B (k', v)) -> k.prj (k'.inj v)
+
+let get k m = match find k m with Some v -> v | None -> raise Not_found
+let mem k m = Imap.mem k.id m
+let remove k m = Imap.remove k.id m
+
+let fold m ~init ~f = Imap.fold (fun _ b acc -> f acc b) m init
+let bindings m = List.rev (fold m ~init:[] ~f:(fun acc b -> b :: acc))

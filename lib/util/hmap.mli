@@ -1,0 +1,57 @@
+(** Heterogeneous maps with typed keys.
+
+    An {!t} stores values of arbitrary types, each addressed by a typed
+    {!type:key}.  Keys carry a runtime witness (an extensible-variant
+    constructor), so lookups recover the value at its original type without
+    [Obj.magic].  Keys are compared by identity: two keys created by separate
+    calls to {!Key.create} never alias, even with the same name.
+
+    This is the backing store for task workspaces in the Spawn/Merge runtime:
+    every mergeable data structure registered with a workspace lives under one
+    key. *)
+
+type 'a key
+(** A typed key addressing a value of type ['a]. *)
+
+module Key : sig
+  val create : name:string -> 'a key
+  (** [create ~name] mints a fresh key.  [name] is used for diagnostics
+      only and need not be unique. *)
+
+  val name : 'a key -> string
+
+  val id : 'a key -> int
+  (** Unique integer identity, totally ordered by creation time.  Key
+      iteration order in {!fold} follows this order, which makes traversals
+      deterministic. *)
+end
+
+type t
+(** An immutable heterogeneous map. *)
+
+type binding = B : 'a key * 'a -> binding
+(** An existentially typed binding, as seen by {!fold}. *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val add : 'a key -> 'a -> t -> t
+(** [add k v m] binds [k] to [v], replacing any previous binding of [k]. *)
+
+val find : 'a key -> t -> 'a option
+
+val get : 'a key -> t -> 'a
+(** @raise Not_found if the key is unbound. *)
+
+val mem : 'a key -> t -> bool
+
+val remove : 'a key -> t -> t
+
+val fold : t -> init:'acc -> f:('acc -> binding -> 'acc) -> 'acc
+(** Folds over bindings in increasing key-id order. *)
+
+val bindings : t -> binding list
+(** All bindings in increasing key-id order. *)

@@ -1,0 +1,80 @@
+(* SHA-1 per RFC 3174.  The compression function works on Int32 words; OCaml's
+   boxed Int32 is slower than native int tricks but keeps the code an obvious
+   transcription of the spec, which matters more for auditability here. *)
+
+let rotl32 x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let padding message =
+  let len = String.length message in
+  let bit_len = Int64.of_int (len * 8) in
+  (* message ^ 0x80 ^ zeros ^ 8-byte big-endian bit length, total multiple of 64 *)
+  let rem = (len + 1 + 8) mod 64 in
+  let zeros = if rem = 0 then 0 else 64 - rem in
+  let b = Bytes.create (len + 1 + zeros + 8) in
+  Bytes.blit_string message 0 b 0 len;
+  Bytes.set b len '\x80';
+  Bytes.fill b (len + 1) zeros '\x00';
+  Bytes.set_int64_be b (len + 1 + zeros) bit_len;
+  b
+
+let digest message =
+  let data = padding message in
+  let h0 = ref 0x67452301l
+  and h1 = ref 0xEFCDAB89l
+  and h2 = ref 0x98BADCFEl
+  and h3 = ref 0x10325476l
+  and h4 = ref 0xC3D2E1F0l in
+  let w = Array.make 80 0l in
+  let blocks = Bytes.length data / 64 in
+  for blk = 0 to blocks - 1 do
+    let base = blk * 64 in
+    for t = 0 to 15 do
+      w.(t) <- Bytes.get_int32_be data (base + (t * 4))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl32 (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then
+          (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+        else if t < 40 then (Int32.logxor (Int32.logxor !b !c) !d, 0x6ED9EBA1l)
+        else if t < 60 then
+          ( Int32.logor
+              (Int32.logor (Int32.logand !b !c) (Int32.logand !b !d))
+              (Int32.logand !c !d)
+          , 0x8F1BBCDCl )
+        else (Int32.logxor (Int32.logxor !b !c) !d, 0xCA62C1D6l)
+      in
+      let temp = Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(t) in
+      e := !d;
+      d := !c;
+      c := rotl32 !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := Int32.add !h0 !a;
+    h1 := Int32.add !h1 !b;
+    h2 := Int32.add !h2 !c;
+    h3 := Int32.add !h3 !d;
+    h4 := Int32.add !h4 !e
+  done;
+  let out = Bytes.create 20 in
+  Bytes.set_int32_be out 0 !h0;
+  Bytes.set_int32_be out 4 !h1;
+  Bytes.set_int32_be out 8 !h2;
+  Bytes.set_int32_be out 12 !h3;
+  Bytes.set_int32_be out 16 !h4;
+  Bytes.unsafe_to_string out
+
+let hex message =
+  let raw = digest message in
+  let buf = Buffer.create 40 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buf
+
+let iterate s ~times =
+  if times < 0 then invalid_arg "Sha1.iterate: negative times";
+  let rec go s n = if n = 0 then s else go (digest s) (n - 1) in
+  go s times

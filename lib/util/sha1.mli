@@ -1,0 +1,17 @@
+(** SHA-1 (RFC 3174), implemented from scratch.
+
+    The container has no crypto library, and the paper's evaluation derives
+    message destinations from iterated SHA-1 over the payload, so we provide
+    our own.  SHA-1 is used here purely as a CPU workload and a stable content
+    digest — not for security. *)
+
+val digest : string -> string
+(** 20-byte raw digest. *)
+
+val hex : string -> string
+(** 40-character lowercase hex digest. *)
+
+val iterate : string -> times:int -> string
+(** [iterate s ~times] applies [digest] [times] times ([times = 0] returns
+    [s] unchanged).  This is the paper's host-workload knob [l].
+    @raise Invalid_argument if [times < 0]. *)

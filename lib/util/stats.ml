@@ -1,0 +1,42 @@
+type summary =
+  { n : int
+  ; mean : float
+  ; stddev : float
+  ; min : float
+  ; max : float
+  ; median : float
+  }
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else min (n - 1) (rank - 1) in
+  List.nth sorted idx
+
+let summarize xs =
+  if xs = [] then invalid_arg "Stats.summarize: empty";
+  let n = List.length xs in
+  let m = mean xs in
+  let var =
+    if n < 2 then 0.0
+    else
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int (n - 1)
+  in
+  { n
+  ; mean = m
+  ; stddev = sqrt var
+  ; min = List.fold_left min infinity xs
+  ; max = List.fold_left max neg_infinity xs
+  ; median = percentile xs ~p:50.0
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f med=%.2f max=%.2f" s.n s.mean s.stddev
+    s.min s.median s.max

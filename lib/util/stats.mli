@@ -1,0 +1,21 @@
+(** Small descriptive-statistics helpers for the benchmark harness. *)
+
+type summary =
+  { n : int
+  ; mean : float
+  ; stddev : float  (** sample standard deviation (n-1 denominator) *)
+  ; min : float
+  ; max : float
+  ; median : float
+  }
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [\[0, 100\]].
+    @raise Invalid_argument on the empty list or [p] out of range. *)
+
+val pp_summary : Format.formatter -> summary -> unit

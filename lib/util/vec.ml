@@ -1,0 +1,55 @@
+type 'a t =
+  { mutable data : 'a array
+  ; mutable len : int
+  }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+
+let grow v =
+  let cap = Array.length v.data in
+  let new_cap = if cap = 0 then 8 else cap * 2 in
+  (* [v.len > 0] whenever we grow a non-empty vector, so [v.data.(0)] is a
+     valid seed element for [Array.make]. *)
+  let data =
+    if cap = 0 then v.data
+    else begin
+      let data = Array.make new_cap v.data.(0) in
+      Array.blit v.data 0 data 0 v.len;
+      data
+    end
+  in
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    if v.len = 0 then v.data <- Array.make 8 x else grow v
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.data.(i)
+
+let slice v ~from =
+  if from < 0 || from > v.len then invalid_arg "Vec.slice: bad bound";
+  let rec collect i acc = if i < from then acc else collect (i - 1) (v.data.(i) :: acc) in
+  collect (v.len - 1) []
+
+let to_list v = slice v ~from:0
+let clear v = v.len <- 0
+
+let iter v ~f =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let append_list v xs = List.iter (push v) xs
+
+let of_list xs =
+  let v = create () in
+  append_list v xs;
+  v
+
+let copy v = { data = Array.copy v.data; len = v.len }

@@ -1,0 +1,33 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray] yet).
+
+    Used for operation journals: cheap amortized append, O(1) random access,
+    and slice extraction for "operations since version [v]" queries.  Not
+    thread-safe; journals are confined to one task at a time by the runtime. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Appends an element; amortized O(1). *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val slice : 'a t -> from:int -> 'a list
+(** [slice v ~from] returns elements [from .. length-1] as a list.
+    @raise Invalid_argument if [from < 0] or [from > length v]. *)
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> f:('a -> unit) -> unit
+
+val append_list : 'a t -> 'a list -> unit
+
+val copy : 'a t -> 'a t

@@ -1,0 +1,87 @@
+(* The executor: domains + per-task threads, reuse across runs, shutdown
+   semantics. *)
+
+open Test_support
+module E = Sm_core.Executor
+
+let runs_jobs () =
+  let e = E.create ~domains:1 () in
+  let n = 50 in
+  let counter = Atomic.make 0 in
+  let m = Mutex.create () and cv = Condition.create () in
+  for _ = 1 to n do
+    E.submit e (fun () ->
+        if Atomic.fetch_and_add counter 1 = n - 1 then begin
+          Mutex.lock m;
+          Condition.broadcast cv;
+          Mutex.unlock m
+        end)
+  done;
+  Mutex.lock m;
+  while Atomic.get counter < n do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  E.shutdown e;
+  Alcotest.(check int) "all jobs ran" n (Atomic.get counter)
+
+let shutdown_waits () =
+  let e = E.create ~domains:2 () in
+  let slow_done = Atomic.make false in
+  E.submit e (fun () ->
+      Thread.delay 0.02;
+      Atomic.set slow_done true);
+  E.shutdown e;
+  check_bool "shutdown joined the slow job" (Atomic.get slow_done)
+
+let submit_after_shutdown () =
+  let e = E.create ~domains:1 () in
+  E.shutdown e;
+  Alcotest.check_raises "submit refused"
+    (Invalid_argument "Executor.submit: executor is shut down") (fun () -> E.submit e (fun () -> ()))
+
+let domain_count () =
+  let e = E.create ~domains:3 () in
+  Alcotest.(check int) "count" 3 (E.domain_count e);
+  E.shutdown e;
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Executor.create: domains must be >= 1") (fun () ->
+      ignore (E.create ~domains:0 ()))
+
+let blocked_jobs_do_not_starve () =
+  (* one domain; a job that blocks until a later job releases it — requires
+     thread-per-task, a pool would deadlock *)
+  let e = E.create ~domains:1 () in
+  let gate = Sm_util.Bqueue.create () in
+  let released = Atomic.make false in
+  E.submit e (fun () ->
+      (match Sm_util.Bqueue.pop gate with Some () -> () | None -> ());
+      Atomic.set released true);
+  E.submit e (fun () -> Sm_util.Bqueue.push gate ());
+  E.shutdown e;
+  check_bool "blocked job released by a later one" (Atomic.get released)
+
+let reuse_across_runs () =
+  let e = E.create ~domains:1 () in
+  for round = 1 to 30 do
+    let v =
+      Sm_core.Runtime.run ~executor:e (fun ctx ->
+          let total = Atomic.make 0 in
+          for _ = 1 to 5 do
+            ignore (Sm_core.Runtime.spawn ctx (fun _ -> ignore (Atomic.fetch_and_add total 1)))
+          done;
+          Sm_core.Runtime.merge_all ctx;
+          Atomic.get total)
+    in
+    Alcotest.(check int) (Printf.sprintf "round %d" round) 5 v
+  done;
+  E.shutdown e
+
+let suite =
+  [ Alcotest.test_case "runs all submitted jobs" `Quick runs_jobs
+  ; Alcotest.test_case "shutdown waits for jobs" `Quick shutdown_waits
+  ; Alcotest.test_case "submit after shutdown refused" `Quick submit_after_shutdown
+  ; Alcotest.test_case "domain count and bounds" `Quick domain_count
+  ; Alcotest.test_case "blocked jobs never starve later ones" `Quick blocked_jobs_do_not_starve
+  ; Alcotest.test_case "executor reused across 30 runs" `Quick reuse_across_runs
+  ]

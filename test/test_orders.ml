@@ -1,0 +1,78 @@
+(* The order-processing workload: conservation invariants, equivalence with
+   a sequential model, and run-to-run determinism. *)
+
+open Test_support
+module O = Sm_sim.Orders
+
+let executor = lazy (Sm_core.Executor.create ())
+let run c = O.run ~executor:(Lazy.force executor) c
+
+(* Products are owned by one worker each, so the outcome must equal the
+   obvious sequential model: process each product's orders in stream order. *)
+let model (c : O.config) =
+  let stock = Array.make c.products c.initial_stock in
+  let revenue = ref 0 and sold = ref 0 and filled = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (o : O.order) ->
+      if stock.(o.product) >= o.qty then begin
+        stock.(o.product) <- stock.(o.product) - o.qty;
+        revenue := !revenue + (o.qty * o.price_cents);
+        sold := !sold + o.qty;
+        incr filled
+      end
+      else incr rejected)
+    (O.generate_orders c);
+  (!revenue, !sold, !filled, !rejected, Array.fold_left ( + ) 0 stock)
+
+let conservation (c : O.config) (r : O.report) =
+  r.units_sold + r.stock_remaining = c.products * c.initial_stock
+  && r.orders_filled + r.orders_rejected = c.orders
+  && r.audit_length = c.orders
+
+let default_run () =
+  let c = O.default in
+  let r = run c in
+  check_bool "conservation" (conservation c r);
+  let revenue, sold, filled, rejected, remaining = model c in
+  Alcotest.(check int) "revenue" revenue r.O.revenue_cents;
+  Alcotest.(check int) "sold" sold r.O.units_sold;
+  Alcotest.(check int) "filled" filled r.O.orders_filled;
+  Alcotest.(check int) "rejected" rejected r.O.orders_rejected;
+  Alcotest.(check int) "remaining" remaining r.O.stock_remaining;
+  check_bool "some orders were rejected (stock pressure)" (r.O.orders_rejected > 0)
+
+let gen_config =
+  QCheck2.Gen.(
+    let* products = int_range 1 6 in
+    let* initial_stock = int_range 0 30 in
+    let* orders = int_range 0 60 in
+    let* workers = int_range 1 5 in
+    let* batch = int_range 1 8 in
+    let* seed = int_range 1 10_000 in
+    return
+      { O.products; initial_stock; orders; workers; batch; seed = Int64.of_int seed })
+
+let matches_model =
+  qtest ~count:60 "random configs: runtime = sequential model" gen_config (fun c ->
+      let r = run c in
+      conservation c r
+      && model c = (r.O.revenue_cents, r.O.units_sold, r.O.orders_filled, r.O.orders_rejected, r.O.stock_remaining))
+
+let deterministic_audit () =
+  let c = { O.default with O.orders = 120; workers = 3 } in
+  let a = run c and b = run c in
+  Alcotest.(check string) "audit digest stable" a.O.audit_digest b.O.audit_digest;
+  Alcotest.(check int) "audit length" c.O.orders a.O.audit_length
+
+let bad_configs () =
+  Alcotest.check_raises "zero workers" (Invalid_argument "Orders: workers must be positive")
+    (fun () -> ignore (O.run { O.default with O.workers = 0 }));
+  Alcotest.check_raises "zero batch" (Invalid_argument "Orders: batch must be positive") (fun () ->
+      ignore (O.run { O.default with O.batch = 0 }))
+
+let suite =
+  [ Alcotest.test_case "default config matches model" `Quick default_run
+  ; matches_model
+  ; Alcotest.test_case "audit log deterministic" `Quick deterministic_audit
+  ; Alcotest.test_case "config validation" `Quick bad_configs
+  ]

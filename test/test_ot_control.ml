@@ -1,0 +1,143 @@
+(* The transformation control algorithm: the paper's equations (4)-(8) on
+   concrete scenarios, plus structural properties of cross/merge. *)
+
+open Test_support
+module L = Sm_ot.Op_list.Make (Str_elt)
+module C = Sm_ot.Control.Make (L)
+module Conv = Sm_ot.Convergence.Make (L)
+
+let state = Alcotest.testable L.pp_state L.equal_state
+
+(* The h(a) := f(a) || g(a) example from Section II.A: f and g both modify a
+   list; merge(ops_f, ops_g) serializes them; the result is deterministic and
+   merge order matters. *)
+let paper_h_example () =
+  let a = [ "1"; "2"; "3" ] in
+  let ops_f = [ L.ins 3 "4" ] (* parent appends 4 *) in
+  let ops_g = [ L.ins 3 "5" ] (* child appends 5 *) in
+  let merged = C.merge ~applied:ops_f ~children:[ ops_g ] ~tie:Sm_ot.Side.serialization in
+  Alcotest.check state "listing 1 result" [ "1"; "2"; "3"; "4"; "5" ] (C.apply_seq a merged);
+  let merged_swapped = C.merge ~applied:ops_g ~children:[ ops_f ] ~tie:Sm_ot.Side.serialization in
+  Alcotest.check state "merge(y,x) differs" [ "1"; "2"; "3"; "5"; "4" ] (C.apply_seq a merged_swapped)
+
+let empty_cases () =
+  let a = [ "x" ] in
+  Alcotest.(check (list (testable L.pp_op ( = )))) "merge with no children" [ L.del 0 ]
+    (C.merge ~applied:[ L.del 0 ] ~children:[] ~tie:Sm_ot.Side.serialization);
+  Alcotest.(check (list (testable L.pp_op ( = )))) "transform vs empty" [ L.del 0 ]
+    (C.transform_seq [ L.del 0 ] ~against:[] ~tie:Sm_ot.Side.serialization);
+  let inc, app = C.cross ~incoming:[] ~applied:[ L.del 0 ] ~tie:Sm_ot.Side.serialization in
+  check_bool "cross empty incoming" (inc = [] && app = [ L.del 0 ]);
+  Alcotest.check state "apply_seq empty" a (C.apply_seq a [])
+
+(* Three children merged in creation order; every child appended one element
+   at the same position: order of results must follow merge order. *)
+let three_children_order () =
+  let base = [ "base" ] in
+  let child i = [ L.ins 1 (string_of_int i) ] in
+  let merged = C.merge ~applied:[] ~children:[ child 1; child 2; child 3 ] ~tie:Sm_ot.Side.serialization in
+  Alcotest.check state "creation order preserved" [ "base"; "1"; "2"; "3" ] (C.apply_seq base merged)
+
+(* Splitting inside cross: a text-range delete crossing an insert exercises
+   one-to-many transforms inside sequences. *)
+module T = Sm_ot.Op_text
+module Ct = Sm_ot.Control.Make (T)
+
+let cross_with_splits () =
+  let base = "abcdef" in
+  let left = [ T.del ~pos:1 ~len:4 ] (* delete "bcde" *) in
+  let right = [ T.ins 3 "XY" ] (* insert inside the deleted range *) in
+  let left', right' = Ct.cross ~incoming:left ~applied:right ~tie:Sm_ot.Side.serialization in
+  let via_right = Ct.apply_seq (Ct.apply_seq base right) left' in
+  let via_left = Ct.apply_seq (Ct.apply_seq base left) right' in
+  Alcotest.(check string) "converged" via_right via_left;
+  Alcotest.(check string) "expected" "aXYf" via_right;
+  Alcotest.(check int) "left split into two deletes" 2 (List.length left')
+
+(* merge must be associative in the fold sense: merging [c1; c2] equals
+   merging c1 then treating the result as applied and merging c2. *)
+let merge_incremental_equivalence () =
+  let base = [ "a"; "b"; "c" ] in
+  let applied = [ L.set 0 "A" ] in
+  let c1 = [ L.del 2; L.ins 0 "p" ] in
+  let c2 = [ L.ins 1 "q"; L.set 1 "Q" ] in
+  let all_at_once = C.merge ~applied ~children:[ c1; c2 ] ~tie:Sm_ot.Side.serialization in
+  let step1 = C.merge ~applied ~children:[ c1 ] ~tie:Sm_ot.Side.serialization in
+  let step2 = C.merge ~applied:step1 ~children:[ c2 ] ~tie:Sm_ot.Side.serialization in
+  Alcotest.check state "incremental = batch" (C.apply_seq base all_at_once) (C.apply_seq base step2)
+
+let gen_state =
+  QCheck2.Gen.(map (List.map string_of_int) (list_size (int_range 1 6) (int_range 0 9)))
+
+let gen_op_for len =
+  let open QCheck2.Gen in
+  if len = 0 then map (fun x -> L.ins 0 (string_of_int x)) (int_range 10 19)
+  else
+    frequency
+      [ (2, map2 (fun i x -> L.ins i (string_of_int x)) (int_range 0 len) (int_range 10 19))
+      ; (2, map (fun i -> L.del i) (int_range 0 (len - 1)))
+      ; (1, map2 (fun i x -> L.set i (string_of_int x)) (int_range 0 (len - 1)) (int_range 10 19))
+      ]
+
+let gen_seq_for s =
+  let open QCheck2.Gen in
+  int_range 0 5 >>= fun n ->
+  let rec go s acc n =
+    if n = 0 then return (List.rev acc)
+    else gen_op_for (List.length s) >>= fun op -> go (L.apply s op) (op :: acc) (n - 1)
+  in
+  go s [] n
+
+(* N concurrent children with random logs: the merged sequence must apply
+   cleanly, and per-child incremental merging must equal batch merging. *)
+let gen_children =
+  let open QCheck2.Gen in
+  gen_state >>= fun s ->
+  gen_seq_for s >>= fun applied ->
+  list_size (int_range 0 4) (gen_seq_for s) >>= fun children -> return (s, applied, children)
+
+let merge_random (s, applied, children) =
+  let batch = C.merge ~applied ~children ~tie:Sm_ot.Side.serialization in
+  let incremental =
+    List.fold_left
+      (fun acc child -> C.merge ~applied:acc ~children:[ child ] ~tie:Sm_ot.Side.serialization)
+      applied children
+  in
+  L.equal_state (C.apply_seq s batch) (C.apply_seq s incremental)
+
+let side_algebra () =
+  let open Sm_ot.Side in
+  check_bool "opposite involutive" (opposite (opposite Incoming) = Incoming);
+  check_bool "flip involutive" (flip (flip serialization) = serialization);
+  check_bool "uniform components" (uniform Applied = { position = Applied; value = Applied });
+  check_bool "serialization policy" (serialization = { position = Applied; value = Incoming });
+  check_bool "incoming_wins" (incoming_wins Incoming && not (incoming_wins Applied));
+  Alcotest.(check string) "pp" "incoming" (Format.asprintf "%a" pp Incoming);
+  Alcotest.(check string) "pp_policy" "{position=applied; value=incoming}"
+    (Format.asprintf "%a" pp_policy serialization)
+
+let transform_op_vs_sequence () =
+  (* one op threaded through a whole sequence, with a split along the way *)
+  let ops =
+    Ct.transform_op
+      (T.del ~pos:0 ~len:6)
+      ~against:[ T.ins 2 "XY"; T.del ~pos:0 ~len:1 ]
+      ~tie:Sm_ot.Side.serialization
+  in
+  (* base "abcdef": delete all 6; concurrent: insert XY at 2, then delete "a".
+     surviving deletions must remove exactly the original characters *)
+  let base = "abcdef" in
+  let after_concurrent = Ct.apply_seq base [ T.ins 2 "XY"; T.del ~pos:0 ~len:1 ] in
+  Alcotest.(check string) "concurrent state" "bXYcdef" after_concurrent;
+  Alcotest.(check string) "intention preserved" "XY" (Ct.apply_seq after_concurrent ops)
+
+let suite =
+  [ Alcotest.test_case "paper's h(a) = f(a) || g(a)" `Quick paper_h_example
+  ; Alcotest.test_case "side algebra" `Quick side_algebra
+  ; Alcotest.test_case "transform_op vs sequence with split" `Quick transform_op_vs_sequence
+  ; Alcotest.test_case "empty sequences" `Quick empty_cases
+  ; Alcotest.test_case "three children keep merge order" `Quick three_children_order
+  ; Alcotest.test_case "cross handles splits" `Quick cross_with_splits
+  ; Alcotest.test_case "incremental merge = batch merge" `Quick merge_incremental_equivalence
+  ; qtest ~count:500 "random merges: incremental = batch" gen_children merge_random
+  ]

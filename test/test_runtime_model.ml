@@ -1,0 +1,154 @@
+(* Model-based integration testing: random Spawn/Merge programs executed on
+   the real (threaded) runtime must match a trivial sequential model, under
+   scheduling noise and injected task failures.
+
+   The model of [merge_all] over children created in order c0..cn-1, each
+   with an operation script, is: parent ops first, then each non-failing
+   child's ops serialized in creation order (with positional ties resolved
+   earlier-first and value conflicts later-wins — but the scripts below are
+   chosen conflict-free on registers to keep the model obvious: appends and
+   adds only). *)
+
+open Test_support
+module R = Sm_core.Runtime
+module Ws = Sm_mergeable.Workspace
+module Mlist = Sm_mergeable.Mlist.Make (Int_elt)
+module Mcounter = Sm_mergeable.Mcounter
+
+let klist = Mlist.key ~name:"model-list"
+let kcount = Mcounter.key ~name:"model-counter"
+
+type action =
+  | Append of int
+  | Add of int
+  | Sleep_a_bit
+
+type child_spec =
+  { actions : action list
+  ; fails : bool
+  }
+
+type program =
+  { parent_actions : action list
+  ; children : child_spec list
+  }
+
+(* One shared executor for the whole suite: these properties run hundreds of
+   programs. *)
+let executor = lazy (Sm_core.Executor.create ())
+
+let run_real program =
+  R.run ~executor:(Lazy.force executor) (fun ctx ->
+      let ws = R.workspace ctx in
+      Ws.init ws klist [];
+      Ws.init ws kcount 0;
+      List.iter
+        (fun spec ->
+          ignore
+            (R.spawn ctx (fun child ->
+                 let cws = R.workspace child in
+                 List.iter
+                   (function
+                     | Append x -> Mlist.append cws klist x
+                     | Add n -> Mcounter.add cws kcount n
+                     | Sleep_a_bit -> Thread.delay 0.001)
+                   spec.actions;
+                 if spec.fails then failwith "injected fault")))
+        program.children;
+      List.iter
+        (function
+          | Append x -> Mlist.append ws klist x
+          | Add n -> Mcounter.add ws kcount n
+          | Sleep_a_bit -> Thread.delay 0.001)
+        program.parent_actions;
+      R.merge_all ctx;
+      (Mlist.get ws klist, Mcounter.get ws kcount))
+
+(* The sequential model: parent first, then surviving children in creation
+   order.  Appends commute into concatenation under the serialization
+   policy; adds sum. *)
+let run_model program =
+  let apply (l, c) actions =
+    List.fold_left
+      (fun (l, c) -> function
+        | Append x -> (l @ [ x ], c)
+        | Add n -> (l, c + n)
+        | Sleep_a_bit -> (l, c))
+      (l, c) actions
+  in
+  let state = apply ([], 0) program.parent_actions in
+  List.fold_left
+    (fun state spec -> if spec.fails then state else apply state spec.actions)
+    state program.children
+
+let gen_action =
+  QCheck2.Gen.(
+    frequency
+      [ (3, map (fun x -> Append x) (int_range 0 99))
+      ; (3, map (fun n -> Add n) (int_range (-5) 20))
+      ; (1, return Sleep_a_bit)
+      ])
+
+let gen_child =
+  QCheck2.Gen.(
+    map2
+      (fun actions fails -> { actions; fails })
+      (list_size (int_range 0 5) gen_action)
+      (frequency [ (4, return false); (1, return true) ]))
+
+let gen_program =
+  QCheck2.Gen.(
+    map2
+      (fun parent_actions children -> { parent_actions; children })
+      (list_size (int_range 0 4) gen_action)
+      (list_size (int_range 0 6) gen_child))
+
+let real_matches_model =
+  qtest ~count:150 "random programs: threaded runtime = sequential model" gen_program (fun p ->
+      run_real p = run_model p)
+
+let runtime_is_deterministic =
+  qtest ~count:40 "random programs: two executions agree" gen_program (fun p ->
+      run_real p = run_real p)
+
+(* Sync-based variant: children deliver their work in rounds; the model is
+   rounds of (parent, then children in creation order). *)
+let run_real_sync ~rounds ~children =
+  R.run ~executor:(Lazy.force executor) (fun ctx ->
+      let ws = R.workspace ctx in
+      Ws.init ws klist [];
+      Ws.init ws kcount 0;
+      List.iteri
+        (fun i _ ->
+          ignore
+            (R.spawn ctx (fun child ->
+                 let cws = R.workspace child in
+                 for r = 1 to rounds do
+                   Mlist.append cws klist ((100 * r) + i);
+                   Mcounter.incr cws kcount;
+                   ignore (R.sync child)
+                 done)))
+        (List.init children Fun.id);
+      for r = 1 to rounds do
+        Mlist.append ws klist r;
+        R.merge_all ctx
+      done;
+      R.merge_all ctx;
+      (Mlist.get ws klist, Mcounter.get ws kcount))
+
+let run_model_sync ~rounds ~children =
+  let l = ref [] in
+  for r = 1 to rounds do
+    l := !l @ [ r ];
+    for i = 0 to children - 1 do
+      l := !l @ [ (100 * r) + i ]
+    done
+  done;
+  (!l, rounds * children)
+
+let sync_rounds_match =
+  qtest ~count:25 "sync rounds: runtime = model"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 5))
+    (fun (rounds, children) -> run_real_sync ~rounds ~children = run_model_sync ~rounds ~children)
+
+let suite = [ real_matches_model; runtime_is_deterministic; sync_rounds_match ]

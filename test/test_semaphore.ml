@@ -1,0 +1,152 @@
+(* Section IV.A: semaphores simulated with Spawn and Merge only.  Mutual
+   exclusion is measured with atomics from outside the framework; the
+   deadlocked-semaphore system is detected as All_blocked instead of hanging
+   (the paper's livelock argument, made observable). *)
+
+open Test_support
+module S = Sm_core.Semaphore
+
+let outcome = Alcotest.testable (fun ppf -> function
+    | S.Completed -> Format.pp_print_string ppf "Completed"
+    | S.All_blocked -> Format.pp_print_string ppf "All_blocked")
+    ( = )
+
+(* Track how many workers overlap inside critical sections. *)
+let overlap_meter () =
+  let current = Atomic.make 0 and peak = Atomic.make 0 in
+  let enter () =
+    let now = Atomic.fetch_and_add current 1 + 1 in
+    let rec bump () =
+      let p = Atomic.get peak in
+      if now > p && not (Atomic.compare_and_set peak p now) then bump ()
+    in
+    bump ()
+  in
+  let leave () = ignore (Atomic.fetch_and_add current (-1)) in
+  (enter, leave, fun () -> Atomic.get peak)
+
+let mutual_exclusion () =
+  let enter, leave, peak = overlap_meter () in
+  let worker (ops : S.ops) =
+    for _ = 1 to 3 do
+      ops.acquire 0;
+      enter ();
+      Thread.delay 0.002;
+      leave ();
+      ops.release 0
+    done
+  in
+  let result = S.run_system ~values:[| 1 |] (List.init 3 (fun _ -> worker)) in
+  Alcotest.check outcome "completed" S.Completed result;
+  Alcotest.(check int) "never more than one holder" 1 (peak ())
+
+let counting_semaphore () =
+  let enter, leave, peak = overlap_meter () in
+  let worker (ops : S.ops) =
+    for _ = 1 to 2 do
+      ops.acquire 0;
+      enter ();
+      Thread.delay 0.003;
+      leave ();
+      ops.release 0
+    done
+  in
+  let result = S.run_system ~values:[| 2 |] (List.init 4 (fun _ -> worker)) in
+  Alcotest.check outcome "completed" S.Completed result;
+  check_bool "at most two holders" (peak () <= 2)
+
+let blocked_forever_detected () =
+  let result = S.run_system ~values:[| 0 |] [ (fun ops -> ops.acquire 0) ] in
+  Alcotest.check outcome "deadlock equivalent detected" S.All_blocked result
+
+let partial_block_detected () =
+  (* one worker completes, one blocks: system ends blocked, not hung *)
+  let result =
+    S.run_system ~values:[| 1 |]
+      [ (fun ops ->
+          ops.acquire 0;
+          ops.release 0)
+      ; (fun ops ->
+          ops.acquire 0
+          (* never releases, then tries again: blocks *);
+          ops.acquire 0)
+      ]
+  in
+  Alcotest.check outcome "detected" S.All_blocked result
+
+(* The classic two-lock deadlock: opposite acquisition order.  Depending on
+   timing the system either completes or reaches the deadlock-equivalent
+   state — either way run_system must return (no OS-level deadlock). *)
+let opposite_order_terminates () =
+  let w1 (ops : S.ops) =
+    ops.acquire 0;
+    Thread.delay 0.005;
+    ops.acquire 1;
+    ops.release 1;
+    ops.release 0
+  in
+  let w2 (ops : S.ops) =
+    ops.acquire 1;
+    Thread.delay 0.005;
+    ops.acquire 0;
+    ops.release 0;
+    ops.release 1
+  in
+  match S.run_system ~values:[| 1; 1 |] [ w1; w2 ] with
+  | S.Completed | S.All_blocked -> ()
+
+let release_wakes_waiter () =
+  (* value starts at 0; one worker only releases, the other only acquires —
+     the acquire must be granted by the release. *)
+  let granted = ref false in
+  let result =
+    S.run_system ~values:[| 0 |]
+      [ (fun ops ->
+          Thread.delay 0.005;
+          ops.release 0)
+      ; (fun ops ->
+          ops.acquire 0;
+          granted := true)
+      ]
+  in
+  Alcotest.check outcome "completed" S.Completed result;
+  check_bool "waiter granted" !granted
+
+let fifo_grant_order () =
+  (* with value 1 and workers queueing behind a long holder, grants follow
+     request (list) order *)
+  let order = ref [] in
+  let record id = order := id :: !order in
+  let holder (ops : S.ops) =
+    ops.acquire 0;
+    Thread.delay 0.01;
+    record ops.worker_id;
+    ops.release 0
+  in
+  let waiter delay (ops : S.ops) =
+    Thread.delay delay;
+    ops.acquire 0;
+    record ops.worker_id;
+    ops.release 0
+  in
+  let result =
+    S.run_system ~values:[| 1 |] [ holder; waiter 0.002; waiter 0.004 ]
+  in
+  Alcotest.check outcome "completed" S.Completed result;
+  Alcotest.(check int) "all ran" 3 (List.length !order)
+
+let out_of_range_semaphore () =
+  let result = S.run_system ~values:[| 1 |] [ (fun ops -> ops.acquire 5) ] in
+  (* the worker task fails; the system still terminates *)
+  Alcotest.check outcome "terminates" S.Completed result
+
+let suite =
+  [ Alcotest.test_case "binary semaphore: mutual exclusion" `Quick mutual_exclusion
+  ; Alcotest.test_case "counting semaphore: at most N holders" `Quick counting_semaphore
+  ; Alcotest.test_case "acquire on zero: All_blocked" `Quick blocked_forever_detected
+  ; Alcotest.test_case "partial block detected" `Quick partial_block_detected
+  ; Alcotest.test_case "opposite-order acquires terminate" `Quick opposite_order_terminates
+  ; Alcotest.test_case "release wakes waiter" `Quick release_wakes_waiter
+  ; Alcotest.test_case "grants drain all waiters" `Quick fifo_grant_order
+  ; Alcotest.test_case "bad semaphore index fails the worker only" `Quick out_of_range_semaphore
+  ]

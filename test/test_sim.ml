@@ -1,0 +1,163 @@
+(* The evaluation substrate: workload invariants, both simulator
+   implementations, the cross-implementation trajectory invariant, and the
+   headline determinism claims of Section III. *)
+
+open Test_support
+module W = Sm_sim.Workload
+module Conv = Sm_sim.Sim_conventional
+module Sm = Sm_sim.Sim_spawnmerge
+module Np = Sm_sim.Netpipe
+
+let small mode = { W.hosts = 4; messages = 6; ttl = 5; load = 2; mode; topology = W.Full; seed = 7L }
+
+let workload_initials () =
+  let c = small W.Hash_destination in
+  let ms = W.initial_messages c in
+  Alcotest.(check int) "count" 6 (List.length ms);
+  Alcotest.(check (list int)) "round-robin placement" [ 0; 1; 2; 3; 0; 1 ] (List.map fst ms);
+  List.iter (fun (_, m) -> Alcotest.(check int) "full ttl" 5 m.W.ttl_left) ms;
+  let again = W.initial_messages c in
+  check_bool "seeded: identical payloads"
+    (List.for_all2 (fun (_, a) (_, b) -> W.equal_message a b) ms again);
+  let other = W.initial_messages { c with seed = 8L } in
+  check_bool "different seed differs"
+    (not (List.for_all2 (fun (_, a) (_, b) -> W.equal_message a b) ms other));
+  Alcotest.(check int) "total hops" 30 (W.total_hops c)
+
+let workload_process () =
+  let c = small W.Ring_destination in
+  let m = { W.payload = "seed"; ttl_left = 2 } in
+  (match W.process c ~host:1 m with
+  | Some m', dest ->
+    Alcotest.(check int) "ring destination" 2 dest;
+    Alcotest.(check int) "ttl decremented" 1 m'.W.ttl_left;
+    check_bool "payload evolved" (m'.W.payload <> m.W.payload);
+    (* the hop is deterministic *)
+    (match W.process c ~host:1 m with
+    | Some m'', dest' -> check_bool "replayable" (W.equal_message m' m'' && dest = dest')
+    | None, _ -> Alcotest.fail "expected survivor")
+  | None, _ -> Alcotest.fail "expected survivor");
+  (match W.process c ~host:3 { m with W.ttl_left = 1 } with
+  | None, dest ->
+    Alcotest.(check int) "ring wraps" 0 dest
+  | Some _, _ -> Alcotest.fail "expected death");
+  (* hash destinations depend on the worked payload *)
+  let ch = small W.Hash_destination in
+  let _, d1 = W.process ch ~host:0 m in
+  let _, d2 = W.process ch ~host:0 { m with W.payload = "other" } in
+  check_bool "hash destination in range" (d1 >= 0 && d1 < 4 && d2 >= 0 && d2 < 4);
+  Alcotest.check_raises "bad config" (Invalid_argument "Workload: hosts must be positive")
+    (fun () -> W.validate { ch with W.hosts = 0 })
+
+let all_hops r c = Alcotest.(check int) "all hops processed" (W.total_hops c) r.W.hops
+
+let conventional_completes () =
+  List.iter
+    (fun mode ->
+      let c = small mode in
+      let r = Conv.run c in
+      all_hops r c;
+      Alcotest.(check int) "per_host sums to hops" r.W.hops (Array.fold_left ( + ) 0 r.W.per_host))
+    [ W.Hash_destination; W.Ring_destination ]
+
+let spawnmerge_completes () =
+  List.iter
+    (fun mode ->
+      let c = small mode in
+      let r = Sm.run c in
+      all_hops r c;
+      check_bool "cycles at least ttl" (Sm.cycles_of_last_run () >= c.W.ttl))
+    [ W.Hash_destination; W.Ring_destination ]
+
+(* Message trajectories are schedule-independent, so the multiset of
+   processing events must agree between the two implementations, in both
+   modes. *)
+let cross_implementation_events () =
+  List.iter
+    (fun mode ->
+      let c = small mode in
+      let conv = Conv.run c and sm = Sm.run c in
+      Alcotest.(check string) "event multiset identical" conv.W.event_digest sm.W.event_digest)
+    [ W.Hash_destination; W.Ring_destination ]
+
+(* Section III's headline: with Spawn/Merge even the hash-destination
+   ("non-deterministic") simulation yields the same results in every run —
+   including processing order. *)
+let spawnmerge_deterministic () =
+  List.iter
+    (fun mode ->
+      let c = small mode in
+      let rs = List.init 3 (fun _ -> Sm.run c) in
+      match rs with
+      | first :: rest ->
+        List.iter
+          (fun r ->
+            Alcotest.(check string) "event digest stable" first.W.event_digest r.W.event_digest;
+            Alcotest.(check string) "order digest stable" first.W.order_digest r.W.order_digest)
+          rest
+      | [] -> assert false)
+    [ W.Hash_destination; W.Ring_destination ]
+
+(* The conventional *ring* setup is deterministic by construction (single
+   producer per queue): its order digest must also be stable. *)
+let conventional_ring_deterministic () =
+  let c = small W.Ring_destination in
+  let a = Conv.run c and b = Conv.run c in
+  Alcotest.(check string) "event digest stable" a.W.event_digest b.W.event_digest;
+  Alcotest.(check string) "order digest stable" a.W.order_digest b.W.order_digest
+
+let netpipe_roundtrip () =
+  let l = Np.listen () in
+  let server_log = ref [] in
+  let server =
+    Thread.create
+      (fun () ->
+        match Np.accept l with
+        | None -> ()
+        | Some conn ->
+          let rec loop () =
+            match Np.recv conn with
+            | Some msg ->
+              server_log := msg :: !server_log;
+              Np.send conn ("ack:" ^ msg);
+              loop ()
+            | None -> ()
+          in
+          loop ())
+      ()
+  in
+  let client = Np.connect l in
+  Np.send client "one";
+  Np.send client "two";
+  Alcotest.(check (option string)) "ack one" (Some "ack:one") (Np.recv client);
+  Alcotest.(check (option string)) "ack two" (Some "ack:two") (Np.recv client);
+  Np.close client;
+  Thread.join server;
+  Alcotest.(check (list string)) "server saw both" [ "one"; "two" ] (List.rev !server_log);
+  Np.shutdown l;
+  check_bool "accept after shutdown" (Np.accept l = None);
+  check_bool "connect after shutdown refused"
+    (match Np.connect l with _ -> false | exception Invalid_argument _ -> true)
+
+let netpipe_close_semantics () =
+  let l = Np.listen () in
+  let client = Np.connect l in
+  let server = match Np.accept l with Some c -> c | None -> Alcotest.fail "no conn" in
+  Np.send server "pending";
+  Np.close server;
+  Alcotest.(check (option string)) "drain before eof" (Some "pending") (Np.recv client);
+  Alcotest.(check (option string)) "eof" None (Np.recv client);
+  Np.send client "ignored";
+  Np.close client
+
+let suite =
+  [ Alcotest.test_case "workload: initial messages" `Quick workload_initials
+  ; Alcotest.test_case "workload: hop processing" `Quick workload_process
+  ; Alcotest.test_case "conventional sim completes" `Quick conventional_completes
+  ; Alcotest.test_case "spawn/merge sim completes" `Quick spawnmerge_completes
+  ; Alcotest.test_case "implementations process identical trajectories" `Quick cross_implementation_events
+  ; Alcotest.test_case "spawn/merge sim fully deterministic" `Slow spawnmerge_deterministic
+  ; Alcotest.test_case "conventional ring deterministic" `Quick conventional_ring_deterministic
+  ; Alcotest.test_case "netpipe: request/response" `Quick netpipe_roundtrip
+  ; Alcotest.test_case "netpipe: close and drain" `Quick netpipe_close_semantics
+  ]

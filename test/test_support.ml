@@ -1,0 +1,25 @@
+(** Shared fixtures for the test suites. *)
+
+module Int_elt = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module Str_elt = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf s = Format.fprintf ppf "%S" s
+end
+
+(* Wrap a QCheck property as an alcotest case with a deterministic seed so
+   failures reproduce. *)
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest ~long:false
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let check_bool name b = Alcotest.(check bool) name true b

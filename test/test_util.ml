@@ -1,0 +1,186 @@
+open Test_support
+module U = Sm_util
+
+let hmap_basics () =
+  let k1 : int U.Hmap.key = U.Hmap.Key.create ~name:"k1" in
+  let k2 : string U.Hmap.key = U.Hmap.Key.create ~name:"k2" in
+  let k3 : int U.Hmap.key = U.Hmap.Key.create ~name:"k1" in
+  let m = U.Hmap.(empty |> add k1 42 |> add k2 "hi") in
+  Alcotest.(check (option int)) "find k1" (Some 42) (U.Hmap.find k1 m);
+  Alcotest.(check (option string)) "find k2" (Some "hi") (U.Hmap.find k2 m);
+  Alcotest.(check (option int)) "same-name key does not alias" None (U.Hmap.find k3 m);
+  Alcotest.(check int) "cardinal" 2 (U.Hmap.cardinal m);
+  let m = U.Hmap.add k1 7 m in
+  Alcotest.(check int) "replace keeps cardinal" 2 (U.Hmap.cardinal m);
+  Alcotest.(check int) "replaced" 7 (U.Hmap.get k1 m);
+  let m = U.Hmap.remove k1 m in
+  check_bool "removed" (not (U.Hmap.mem k1 m));
+  Alcotest.check_raises "get missing raises" Not_found (fun () -> ignore (U.Hmap.get k1 m))
+
+let hmap_fold_order () =
+  let ks = List.init 5 (fun i -> (U.Hmap.Key.create ~name:(string_of_int i) : int U.Hmap.key)) in
+  let m = List.fold_left (fun m k -> U.Hmap.add k 0 m) U.Hmap.empty (List.rev ks) in
+  let names = List.map (fun (U.Hmap.B (k, _)) -> U.Hmap.Key.name k) (U.Hmap.bindings m) in
+  Alcotest.(check (list string)) "creation order" [ "0"; "1"; "2"; "3"; "4" ] names
+
+let vec_basics () =
+  let v = U.Vec.create () in
+  Alcotest.(check int) "empty" 0 (U.Vec.length v);
+  for i = 0 to 99 do
+    U.Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (U.Vec.length v);
+  Alcotest.(check int) "get" 57 (U.Vec.get v 57);
+  Alcotest.(check (list int)) "slice" [ 97; 98; 99 ] (U.Vec.slice v ~from:97);
+  Alcotest.(check (list int)) "slice all = to_list" (U.Vec.to_list v) (U.Vec.slice v ~from:0);
+  Alcotest.(check (list int)) "slice at end empty" [] (U.Vec.slice v ~from:100);
+  let w = U.Vec.copy v in
+  U.Vec.push w (-1);
+  Alcotest.(check int) "copy isolated" 100 (U.Vec.length v);
+  U.Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (U.Vec.length v);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (U.Vec.get v 0))
+
+let vec_of_list_roundtrip =
+  qtest "Vec.of_list/to_list roundtrip" QCheck2.Gen.(list int) (fun xs ->
+      U.Vec.to_list (U.Vec.of_list xs) = xs)
+
+let rng_deterministic () =
+  let a = U.Det_rng.create ~seed:42L and b = U.Det_rng.create ~seed:42L in
+  let xs = List.init 50 (fun _ -> U.Det_rng.int64 a) in
+  let ys = List.init 50 (fun _ -> U.Det_rng.int64 b) in
+  check_bool "same seed, same stream" (xs = ys);
+  let c = U.Det_rng.create ~seed:43L in
+  let zs = List.init 50 (fun _ -> U.Det_rng.int64 c) in
+  check_bool "different seed differs" (xs <> zs)
+
+let rng_split_independent () =
+  let a = U.Det_rng.create ~seed:7L in
+  let b = U.Det_rng.split a in
+  let xs = List.init 20 (fun _ -> U.Det_rng.int64 a) in
+  let ys = List.init 20 (fun _ -> U.Det_rng.int64 b) in
+  check_bool "split stream differs" (xs <> ys)
+
+let rng_bounds =
+  qtest "int stays in bound"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 10000))
+    (fun (bound, seed) ->
+      let rng = U.Det_rng.create ~seed:(Int64.of_int seed) in
+      let x = U.Det_rng.int rng ~bound in
+      x >= 0 && x < bound)
+
+let rng_shuffle_permutes =
+  qtest "shuffle permutes" QCheck2.Gen.(list_size (int_range 0 20) int) (fun xs ->
+      let rng = U.Det_rng.create ~seed:1L in
+      List.sort compare (U.Det_rng.shuffle rng xs) = List.sort compare xs)
+
+let stats_basics () =
+  let s = U.Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "n" 4 s.n;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.max;
+  Alcotest.(check (float 1e-9)) "median" 2.0 s.median;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944 s.stddev;
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (U.Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:100.0);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (U.Stats.mean []))
+
+let bqueue_fifo () =
+  let q = U.Bqueue.create () in
+  List.iter (U.Bqueue.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "length" 3 (U.Bqueue.length q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (U.Bqueue.pop q);
+  Alcotest.(check (option int)) "try_pop 2" (Some 2) (U.Bqueue.try_pop q);
+  U.Bqueue.close q;
+  Alcotest.(check (option int)) "drain after close" (Some 3) (U.Bqueue.pop q);
+  Alcotest.(check (option int)) "closed empty" None (U.Bqueue.pop q);
+  check_bool "is_closed" (U.Bqueue.is_closed q);
+  Alcotest.check_raises "push after close" (Invalid_argument "Bqueue.push: closed queue") (fun () ->
+      U.Bqueue.push q 9)
+
+let bqueue_threads () =
+  (* One producer thread, one consumer thread; blocking pop must deliver all
+     items in order. *)
+  let q = U.Bqueue.create () in
+  let received = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match U.Bqueue.pop q with
+          | Some x ->
+            received := x :: !received;
+            loop ()
+          | None -> ()
+        in
+        loop ())
+      ()
+  in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 1 to 100 do
+          U.Bqueue.push q i
+        done;
+        U.Bqueue.close q)
+      ()
+  in
+  Thread.join producer;
+  Thread.join consumer;
+  Alcotest.(check (list int)) "all delivered in order" (List.init 100 (fun i -> i + 1))
+    (List.rev !received)
+
+let sha1_vectors () =
+  (* FIPS 180-1 / RFC 3174 test vectors. *)
+  Alcotest.(check string) "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709" (U.Sha1.hex "");
+  Alcotest.(check string) "abc" "a9993e364706816aba3e25717850c26c9cd0d89d" (U.Sha1.hex "abc");
+  (* "abcdbcde...nopq": fourteen sliding 4-char windows over a..q *)
+  let two_block =
+    String.concat "" (List.init 14 (fun i -> String.init 4 (fun j -> Char.chr (97 + i + j))))
+  in
+  Alcotest.(check string) "two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (U.Sha1.hex two_block);
+  Alcotest.(check string) "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (U.Sha1.hex (String.make 1_000_000 'a'));
+  Alcotest.(check int) "raw digest length" 20 (String.length (U.Sha1.digest "x"))
+
+let sha1_iterate () =
+  Alcotest.(check string) "zero iterations is identity" "seed" (U.Sha1.iterate "seed" ~times:0);
+  Alcotest.(check string) "one iteration = digest" (U.Sha1.digest "seed") (U.Sha1.iterate "seed" ~times:1);
+  Alcotest.(check string) "composition" (U.Sha1.digest (U.Sha1.digest "seed")) (U.Sha1.iterate "seed" ~times:2);
+  Alcotest.check_raises "negative" (Invalid_argument "Sha1.iterate: negative times") (fun () ->
+      ignore (U.Sha1.iterate "x" ~times:(-1)))
+
+let sha1_padding_boundaries =
+  (* Lengths straddling the 55/56/63/64 padding boundaries must not crash and
+     must be stable. *)
+  qtest ~count:80 "padding boundaries" QCheck2.Gen.(int_range 50 70) (fun n ->
+      let s = String.make n 'q' in
+      U.Sha1.hex s = U.Sha1.hex (String.init n (fun _ -> 'q')))
+
+let fnv_stable () =
+  Alcotest.(check string) "known value" "af63dc4c8601ec8c" (U.Fnv.to_hex (U.Fnv.hash "a"));
+  check_bool "order sensitive"
+    (U.Fnv.combine (U.Fnv.hash "a") (U.Fnv.hash "b")
+    <> U.Fnv.combine (U.Fnv.hash "b") (U.Fnv.hash "a"))
+
+let suite =
+  [ Alcotest.test_case "hmap: typed bindings" `Quick hmap_basics
+  ; Alcotest.test_case "hmap: deterministic fold order" `Quick hmap_fold_order
+  ; Alcotest.test_case "vec: push/get/slice/copy" `Quick vec_basics
+  ; vec_of_list_roundtrip
+  ; Alcotest.test_case "rng: determinism" `Quick rng_deterministic
+  ; Alcotest.test_case "rng: split independence" `Quick rng_split_independent
+  ; rng_bounds
+  ; rng_shuffle_permutes
+  ; Alcotest.test_case "stats: summary" `Quick stats_basics
+  ; Alcotest.test_case "bqueue: fifo/close" `Quick bqueue_fifo
+  ; Alcotest.test_case "bqueue: producer/consumer threads" `Quick bqueue_threads
+  ; Alcotest.test_case "sha1: FIPS vectors" `Quick sha1_vectors
+  ; Alcotest.test_case "sha1: iterate" `Quick sha1_iterate
+  ; sha1_padding_boundaries
+  ; Alcotest.test_case "fnv: stability and order" `Quick fnv_stable
+  ]

@@ -1,0 +1,121 @@
+(* Cross-layer equivalence properties: the Workspace merge engine must agree
+   with the bare Control algorithm on random histories, and copy/rebase obey
+   their algebraic laws. *)
+
+open Test_support
+module Ws = Sm_mergeable.Workspace
+module Mlist = Sm_mergeable.Mlist.Make (Int_elt)
+module L = Mlist.Op
+module C = Sm_ot.Control.Make (L)
+
+let gen_script =
+  (* op constructors deferred: indexes are resolved against the live state *)
+  QCheck2.Gen.(
+    list_size (int_range 0 6)
+      (frequency
+         [ (3, map (fun x -> `Append x) (int_range 0 99))
+         ; (2, map (fun i -> `Delete i) (int_range 0 10))
+         ; (2, map2 (fun i x -> `Set (i, x)) (int_range 0 10) (int_range 0 99))
+         ]))
+
+let apply_script ws key script =
+  List.iter
+    (fun step ->
+      let len = Mlist.length ws key in
+      match step with
+      | `Append x -> Mlist.append ws key x
+      | `Delete i -> if len > 0 then Mlist.delete ws key (i mod len)
+      | `Set (i, x) -> if len > 0 then Mlist.set ws key (i mod len) x)
+    script
+
+let gen_case =
+  QCheck2.Gen.(
+    let* initial = list_size (int_range 0 5) (int_range 0 9) in
+    let* parent_script = gen_script in
+    let* c1 = gen_script in
+    let* c2 = gen_script in
+    return (initial, parent_script, c1, c2))
+
+(* Workspace.merge_child over two children == Control.merge over their
+   journals. *)
+let workspace_matches_control =
+  qtest ~count:300 "workspace merge = control merge" gen_case
+    (fun (initial, parent_script, s1, s2) ->
+      let key = Mlist.key ~name:"prop" in
+      let ws = Ws.create () in
+      Ws.init ws key initial;
+      let base = Ws.snapshot ws in
+      let child1 = Ws.copy ws and child2 = Ws.copy ws in
+      apply_script ws key parent_script;
+      apply_script child1 key s1;
+      apply_script child2 key s2;
+      let parent_ops = Ws.journal ws key in
+      let ops1 = Ws.journal child1 key in
+      let ops2 = Ws.journal child2 key in
+      Ws.merge_child ~parent:ws ~child:child1 ~base;
+      Ws.merge_child ~parent:ws ~child:child2 ~base;
+      let expected =
+        C.apply_seq initial
+          (C.merge ~applied:parent_ops ~children:[ ops1; ops2 ] ~tie:Sm_ot.Side.serialization)
+      in
+      Mlist.get ws key = expected)
+
+(* rebase_from after merge reproduces the parent exactly and clears logs *)
+let rebase_reproduces_parent =
+  qtest ~count:200 "rebase = fresh copy of parent" gen_case
+    (fun (initial, parent_script, s1, _) ->
+      let key = Mlist.key ~name:"prop-rebase" in
+      let ws = Ws.create () in
+      Ws.init ws key initial;
+      let base = Ws.snapshot ws in
+      let child = Ws.copy ws in
+      apply_script ws key parent_script;
+      apply_script child key s1;
+      Ws.merge_child ~parent:ws ~child ~base;
+      Ws.rebase_from child ~parent:ws;
+      Ws.equal child ws && Ws.is_pristine child && Ws.digest child = Ws.digest ws)
+
+(* merging a pristine child is always a no-op on the parent *)
+let pristine_merge_is_noop =
+  qtest ~count:200 "pristine child merge is identity" gen_case
+    (fun (initial, parent_script, _, _) ->
+      let key = Mlist.key ~name:"prop-noop" in
+      let ws = Ws.create () in
+      Ws.init ws key initial;
+      let base = Ws.snapshot ws in
+      let child = Ws.copy ws in
+      apply_script ws key parent_script;
+      let before = Ws.digest ws in
+      Ws.merge_child ~parent:ws ~child ~base;
+      Ws.digest ws = before)
+
+(* merge then truncate then merge another child with a fresh base: safe *)
+let truncate_then_merge =
+  qtest ~count:200 "truncate interleaves with merging" gen_case
+    (fun (initial, parent_script, s1, s2) ->
+      let key = Mlist.key ~name:"prop-trunc" in
+      let ws = Ws.create () in
+      Ws.init ws key initial;
+      let base1 = Ws.snapshot ws in
+      let child1 = Ws.copy ws in
+      apply_script ws key parent_script;
+      apply_script child1 key s1;
+      Ws.merge_child ~parent:ws ~child:child1 ~base:base1;
+      (* second child spawns from the post-merge state *)
+      let base2 = Ws.snapshot ws in
+      let base2_state = Mlist.get ws key in
+      let child2 = Ws.copy ws in
+      apply_script child2 key s2;
+      let ops2 = Ws.journal child2 key in
+      Ws.truncate_to_min ws ~bases:[ base2 ];
+      Ws.merge_child ~parent:ws ~child:child2 ~base:base2;
+      (* the parent was quiescent after base2, so the merge is exactly
+         child2's journal applied to the base2 state *)
+      Mlist.get ws key = C.apply_seq base2_state ops2)
+
+let suite =
+  [ workspace_matches_control
+  ; rebase_reproduces_parent
+  ; pristine_merge_is_noop
+  ; truncate_then_merge
+  ]
