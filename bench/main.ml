@@ -16,6 +16,12 @@
      dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
      dune exec bench/main.exe micro           # bechamel component microbenches
 
+   Flags (after the subcommand):
+     --json         write BENCH_<name>.json (per-series n/mean/stddev/median/p95)
+     --obs          enable Sm_obs metrics and dump counters/histograms at exit
+     --trace FILE   capture a Chrome trace_event file of the run (sets the
+                    verbosity to Debug unless something already raised it)
+
    Absolute times differ from the paper's i7-3520M testbed; the *shapes* are
    what EXPERIMENTS.md compares: linearity in l, a workload-independent
    Spawn/Merge overhead whose relative cost shrinks with l, and the
@@ -26,6 +32,45 @@ module W = Sm_sim.Workload
 let section title =
   Format.printf "@.=== %s ===@." title;
   Format.print_flush ()
+
+(* --- machine-readable output and observability flags ----------------------- *)
+
+(* `--json` collects every timed sample and writes BENCH_<name>.json; the
+   series key identifies the measurement ("l=1000/Spawn Merge (determ.)"). *)
+let json_mode = ref false
+let samples : (string, float list) Hashtbl.t = Hashtbl.create 16
+
+let record name ms =
+  if !json_mode then
+    Hashtbl.replace samples name (ms :: Option.value ~default:[] (Hashtbl.find_opt samples name))
+
+let series_json xs =
+  let s = Sm_util.Stats.summarize xs in
+  Sm_obs.Json.Obj
+    [ ("n", Sm_obs.Json.Int s.Sm_util.Stats.n)
+    ; ("mean_ms", Sm_obs.Json.Float s.Sm_util.Stats.mean)
+    ; ("stddev_ms", Sm_obs.Json.Float s.Sm_util.Stats.stddev)
+    ; ("median_ms", Sm_obs.Json.Float s.Sm_util.Stats.median)
+    ; ("p95_ms", Sm_obs.Json.Float (Sm_util.Stats.percentile xs ~p:95.0))
+    ; ("min_ms", Sm_obs.Json.Float s.Sm_util.Stats.min)
+    ; ("max_ms", Sm_obs.Json.Float s.Sm_util.Stats.max)
+    ]
+
+let write_json bench_name =
+  if !json_mode && Hashtbl.length samples > 0 then begin
+    let series =
+      List.sort compare
+        (Hashtbl.fold (fun name xs acc -> (name, series_json (List.rev xs)) :: acc) samples [])
+    in
+    let doc = Sm_obs.Json.Obj [ ("bench", Sm_obs.Json.String bench_name); ("series", Sm_obs.Json.Obj series) ] in
+    let path = Printf.sprintf "BENCH_%s.json" bench_name in
+    let oc = open_out path in
+    output_string oc (Sm_obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Hashtbl.reset samples;
+    Format.printf "@.wrote %s@." path
+  end
 
 (* --- Figures 1 and 2 ------------------------------------------------------ *)
 
@@ -126,13 +171,12 @@ let fig3 ?(reps = 2) ~full () =
       List.iter
         (fun s ->
           let cfg = { base with W.load; mode = s.mode } in
-          (* min of [reps] runs: scheduling noise only ever adds time *)
-          let ms =
-            List.fold_left
-              (fun acc _ -> Float.min acc ((s.run cfg).W.elapsed_s *. 1000.0))
-              infinity
-              (List.init (max 1 reps) Fun.id)
+          let rep_ms =
+            List.init (max 1 reps) (fun _ -> (s.run cfg).W.elapsed_s *. 1000.0)
           in
+          List.iter (record (Printf.sprintf "l=%d/%s" load s.label)) rep_ms;
+          (* min of [reps] runs: scheduling noise only ever adds time *)
+          let ms = List.fold_left Float.min infinity rep_ms in
           let prev = Option.value ~default:[] (Hashtbl.find_opt series s.label) in
           Hashtbl.replace series s.label ((float_of_int load, ms) :: prev);
           Format.printf "%26.1fms" ms;
@@ -193,6 +237,8 @@ let overhead () =
       in
       let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
       let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      record (Printf.sprintf "hosts=%d/conventional" hosts) conv;
+      record (Printf.sprintf "hosts=%d/spawn-merge" hosts) sm;
       Format.printf "%-8d %15.1f ms %15.1f ms %+9.1f ms@." hosts conv sm (sm -. conv);
       Format.print_flush ())
     [ 5; 10; 20; 40 ];
@@ -202,6 +248,8 @@ let overhead () =
       let cfg = { W.hosts = 20; messages = 20; ttl = 10; load; mode = W.Hash_destination; topology = W.Full; seed = 5L } in
       let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
       let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      record (Printf.sprintf "load=%d/conventional" load) conv;
+      record (Printf.sprintf "load=%d/spawn-merge" load) sm;
       Format.printf "%-8d %15.1f ms %15.1f ms %+9.1f ms@." load conv sm (sm -. conv);
       Format.print_flush ())
     [ 0; 1500; 3000 ]
@@ -256,6 +304,8 @@ let scale () =
       in
       let conv = (Sm_sim.Sim_conventional.run cfg).W.elapsed_s *. 1000.0 in
       let sm = (sm_run cfg).W.elapsed_s *. 1000.0 in
+      record (Printf.sprintf "hosts=%d/conventional" hosts) conv;
+      record (Printf.sprintf "hosts=%d/spawn-merge" hosts) sm;
       Format.printf "%-8d %-10d %15.1f ms %15.1f ms %8.2fx@." hosts (W.total_hops cfg) conv sm
         (sm /. conv);
       Format.print_flush ())
@@ -379,6 +429,9 @@ let dist_bench () =
             drain ()))
   in
   Sm_dist.Coordinator.shutdown cluster;
+  record "local" local_ms;
+  record "remote" remote_ms;
+  record "sync-roundtrips" sync_ms;
   Format.printf "%d one-shot tasks, local runtime:     %8.1f ms  (%6.0f us/task)@." tasks local_ms
     (local_ms *. 1000.0 /. float_of_int tasks);
   Format.printf "%d one-shot tasks, 2-node cluster:    %8.1f ms  (%6.0f us/task)@." tasks remote_ms
@@ -416,6 +469,8 @@ let coop_bench () =
       let cfg = { W.hosts = 20; messages = 20; ttl = 15; load; mode = W.Hash_destination; topology = W.Full; seed = 3L } in
       let threaded = sm_run cfg in
       let coop = Sm_sim.Sim_spawnmerge.run_cooperative cfg in
+      record (Printf.sprintf "l=%d/threaded" load) (threaded.W.elapsed_s *. 1000.0);
+      record (Printf.sprintf "l=%d/cooperative" load) (coop.W.elapsed_s *. 1000.0);
       Format.printf "%-8d %15.1f ms %15.1f ms %-12s@." load (threaded.W.elapsed_s *. 1000.0)
         (coop.W.elapsed_s *. 1000.0)
         (if threaded.W.order_digest = coop.W.order_digest then "identical" else "DIFFER!");
@@ -507,20 +562,54 @@ let micro ~quick () =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  Sm_obs.Verbosity.of_env ();
+  json_mode := has "--json";
+  let trace_path =
+    let rec find = function
+      | "--trace" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let obs = has "--obs" in
+  if obs then Sm_obs.Metrics.set_enabled true;
+  let recorder =
+    Option.map
+      (fun path ->
+        if Sm_obs.level () = Sm_obs.Off then Sm_obs.set_level Sm_obs.Debug;
+        let r = Sm_obs.Trace_chrome.recorder () in
+        Sm_obs.set_sink (Sm_obs.Trace_chrome.sink r);
+        (r, path))
+      trace_path
+  in
+  let finish name =
+    write_json name;
+    Option.iter
+      (fun (r, path) ->
+        Sm_obs.Trace_chrome.write_file r path;
+        Format.printf "@.wrote Chrome trace %s  (load it in chrome://tracing or ui.perfetto.dev)@." path)
+      recorder;
+    if obs then begin
+      Format.printf "@.-- metrics --@.";
+      Sm_obs.Metrics.dump Format.std_formatter ()
+    end
+  in
   match args with
-  | _ :: "fig1" :: _ -> fig1 ()
-  | _ :: "fig2" :: _ -> fig2 ()
+  | _ :: "fig1" :: _ -> fig1 (); finish "fig1"
+  | _ :: "fig2" :: _ -> fig2 (); finish "fig2"
   | _ :: "fig3" :: _ ->
     let full = has "--full" in
-    fig3 ~reps:(if full then 1 else 2) ~full ()
-  | _ :: "overhead" :: _ -> overhead ()
-  | _ :: "scale" :: _ -> scale ()
-  | _ :: "copy" :: _ -> copy_ablation ()
-  | _ :: "dist" :: _ -> dist_bench ()
-  | _ :: "coop" :: _ -> coop_bench ()
-  | _ :: "topology" :: _ -> topology_bench ()
-  | _ :: "semaphore" :: _ -> semaphore_bench ()
-  | _ :: "micro" :: _ -> micro ~quick:false ()
+    fig3 ~reps:(if full then 1 else 2) ~full ();
+    finish "fig3"
+  | _ :: "overhead" :: _ -> overhead (); finish "overhead"
+  | _ :: "scale" :: _ -> scale (); finish "scale"
+  | _ :: "copy" :: _ -> copy_ablation (); finish "copy"
+  | _ :: "dist" :: _ -> dist_bench (); finish "dist"
+  | _ :: "coop" :: _ -> coop_bench (); finish "coop"
+  | _ :: "topology" :: _ -> topology_bench (); finish "topology"
+  | _ :: "semaphore" :: _ -> semaphore_bench (); finish "semaphore"
+  | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
   | _ :: "all" :: _ | [ _ ] ->
     fig1 ();
     fig2 ();
@@ -533,7 +622,10 @@ let () =
     topology_bench ();
     semaphore_bench ();
     micro ~quick:true ();
-    Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@."
+    Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@.";
+    finish "all"
   | _ ->
-    prerr_endline "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|micro|all]";
+    prerr_endline
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|micro|all]\n\
+       flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

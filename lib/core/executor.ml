@@ -4,6 +4,10 @@ type t =
   ; next : int Atomic.t
   }
 
+let m_jobs = Sm_obs.Metrics.counter "executor.jobs"
+let m_job_threads = Sm_obs.Metrics.counter "executor.job_threads"
+let m_domains = Sm_obs.Metrics.counter "executor.domains"
+
 (* Each domain loops popping jobs and giving each its own thread; finished
    threads are reaped opportunistically (executors may outlive many runs),
    and on inbox close the stragglers are joined before the domain exits. *)
@@ -21,6 +25,7 @@ let worker_loop inbox () =
   let rec loop threads =
     match Sm_util.Bqueue.pop inbox with
     | Some job ->
+      Sm_obs.Metrics.incr m_job_threads;
       let finished = Atomic.make false in
       let t =
         Thread.create (fun () -> Fun.protect ~finally:(fun () -> Atomic.set finished true) job) ()
@@ -40,10 +45,13 @@ let create ?domains () =
   in
   let inboxes = Array.init n (fun _ -> Sm_util.Bqueue.create ()) in
   let workers = Array.map (fun inbox -> Domain.spawn (worker_loop inbox)) inboxes in
+  Sm_obs.Metrics.add m_domains n;
   { inboxes; workers; next = Atomic.make 0 }
 
 let submit t job =
+  Sm_obs.Metrics.incr m_jobs;
   let i = Atomic.fetch_and_add t.next 1 mod Array.length t.inboxes in
+  Sm_obs.note ~task:"executor" ~task_id:0 "executor.submit" ~args:[ ("worker", Sm_obs.Event.I i) ];
   try Sm_util.Bqueue.push t.inboxes.(i) job
   with Invalid_argument _ -> invalid_arg "Executor.submit: executor is shut down"
 

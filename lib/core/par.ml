@@ -1,5 +1,15 @@
 exception Worker_failure of int * exn
 
+let m_chunk_tasks = Sm_obs.Metrics.counter "par.chunk_tasks"
+let h_par_ns = Sm_obs.Metrics.histogram "par.region_ns"
+
+(* Every Par combinator runs inside a named span on the calling task, so
+   traces show data-parallel regions as one slice over their fork/join. *)
+let par_span ctx name ~items f =
+  Sm_obs.Span.with_ ~hist:h_par_ns
+    ~args:[ ("items", Sm_obs.Event.I items) ]
+    ~task:(Runtime.task_name ctx) ~task_id:(Runtime.task_id ctx) name f
+
 (* Split [0..n-1] into at most [chunks] contiguous ranges. *)
 let ranges n chunks =
   let chunks = max 1 (min chunks n) in
@@ -15,7 +25,10 @@ let ranges n chunks =
 (* Core fork/join: fill [slots] (one owner per index) with chunked children,
    join deterministically, surface the lowest-index failure. *)
 let run_chunks ?(chunks = 8) ctx n ~(compute : int -> unit) =
+  par_span ctx "par.chunks" ~items:n @@ fun () ->
   let failures : (int * exn) option array = Array.make (max 1 chunks) None in
+  let rs = ranges n chunks in
+  Sm_obs.Metrics.add m_chunk_tasks (List.length rs);
   let handles =
     List.mapi
       (fun chunk_idx (start, len) ->
@@ -27,7 +40,7 @@ let run_chunks ?(chunks = 8) ctx n ~(compute : int -> unit) =
                 | exception e -> failures.(chunk_idx) <- Some (i, e)
             in
             go start))
-      (ranges n chunks)
+      rs
   in
   Runtime.merge_all_from_set ctx handles;
   Array.iter
@@ -50,6 +63,7 @@ let iter ?chunks ctx f xs = ignore (map ?chunks ctx f xs)
 let reduce ?(chunks = 8) ctx ~map:f ~combine ~init xs =
   let input = Array.of_list xs in
   let n = Array.length input in
+  par_span ctx "par.reduce" ~items:n @@ fun () ->
   let rs = ranges n chunks in
   let partials : 'b option array = Array.make (max 1 (List.length rs)) None in
   let failures : (int * exn) option array = Array.make (max 1 (List.length rs)) None in
@@ -79,6 +93,7 @@ let reduce ?(chunks = 8) ctx ~map:f ~combine ~init xs =
     init partials
 
 let both ctx fa fb =
+  par_span ctx "par.both" ~items:2 @@ fun () ->
   let a = ref None and b = ref None in
   let ha = Runtime.spawn ctx (fun _ -> a := Some (fa ())) in
   let hb = Runtime.spawn ctx (fun _ -> b := Some (fb ())) in

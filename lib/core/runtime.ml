@@ -1,10 +1,27 @@
 module Ws = Sm_mergeable.Workspace
+module Obs = Sm_obs
+module E = Sm_obs.Event
 
 (* Debug tracing: silent unless the application enables a Logs reporter and
    sets the level of the "sm.runtime" source to Debug. *)
 let log_src = Logs.Src.create "sm.runtime" ~doc:"Spawn/Merge runtime events"
 
 module Log = (val Logs.src_log log_src)
+
+(* Structured observability (see Sm_obs): every lifecycle edge below emits an
+   event when the verbosity gate is open, and feeds counters/histograms when
+   metrics are enabled.  Both gates default to off, leaving one load+branch
+   per site. *)
+let m_spawns = Obs.Metrics.counter "runtime.spawns"
+let m_clones = Obs.Metrics.counter "runtime.clones"
+let m_merged_children = Obs.Metrics.counter "runtime.merged_children"
+let m_ops_merged = Obs.Metrics.counter "runtime.ops_merged"
+let m_syncs = Obs.Metrics.counter "runtime.syncs"
+let m_aborts = Obs.Metrics.counter "runtime.aborts"
+let m_validation_fails = Obs.Metrics.counter "runtime.validation_failures"
+let h_merge_ns = Obs.Metrics.histogram "runtime.merge_ns"
+let h_sync_wait_ns = Obs.Metrics.histogram "runtime.sync_wait_ns"
+let h_ws_copy_ns = Obs.Metrics.histogram "runtime.ws_copy_ns"
 
 type merge_error =
   | Validation_failed
@@ -92,7 +109,7 @@ let ready c = match c.state with Sync_waiting | Completed | Failed -> true | Run
 
 (* --- task creation -------------------------------------------------------- *)
 
-let make_child parent ~ws ~base =
+let make_child ?(obs_kind = E.Spawn) parent ~ws ~base =
   let index = parent.child_counter in
   parent.child_counter <- index + 1;
   let child =
@@ -113,6 +130,14 @@ let make_child parent ~ws ~base =
   parent.children <- parent.children @ [ child ];
   parent.rt.sched.broadcast ();
   Log.debug (fun m -> m "spawn %s (child of %s)" child.name parent.name);
+  if Obs.on Obs.Info then begin
+    Obs.emit
+      (E.make ~task:parent.name ~task_id:parent.id
+         ~args:[ ("child", E.S child.name); ("child_id", E.I child.id) ]
+         obs_kind);
+    Obs.emit
+      (E.make ~task:child.name ~task_id:child.id ~args:[ ("parent", E.S parent.name) ] E.Task_start)
+  end;
   child
 
 (* --- merging (lock held) -------------------------------------------------- *)
@@ -142,9 +167,47 @@ let merge_child_locked ctx ~validate child =
         | None -> ""
         | Some Aborted -> " (discarded: aborted)"
         | Some Validation_failed -> " (discarded: validation failed)"));
+  (* Per-merge accounting: journal length folded in, and the OT transform
+     calls it took (a delta on the global counter — sound because the runtime
+     lock serializes merges; concurrent *other* runtimes in the process can
+     inflate it, which profiling runs avoid by running one workload). *)
+  let detail = Obs.on Obs.Debug in
+  let metered = detail || Obs.Metrics.is_enabled () in
+  let ops = if metered && refusal = None then Ws.op_count child.ws else 0 in
+  let transforms_before = if metered then Obs.Metrics.value Sm_ot.Control.transform_calls else 0 in
   (match refusal with
   | None -> Ws.merge_child ~parent:ctx.ws ~child:child.ws ~base:child.base
   | Some _ -> ());
+  if metered then begin
+    Obs.Metrics.incr m_merged_children;
+    Obs.Metrics.add m_ops_merged ops
+  end;
+  if detail then begin
+    let transforms = Obs.Metrics.value Sm_ot.Control.transform_calls - transforms_before in
+    let outcome =
+      match refusal with
+      | None -> "merged"
+      | Some Aborted -> "aborted"
+      | Some Validation_failed -> "validation_failed"
+    in
+    Obs.emit
+      (E.make ~task:ctx.name ~task_id:ctx.id
+         ~args:
+           [ ("child", E.S child.name)
+           ; ("ops", E.I ops)
+           ; ("transforms", E.I transforms)
+           ; ("outcome", E.S outcome)
+           ]
+         E.Merge_child)
+  end;
+  (match refusal with
+  | Some Validation_failed ->
+    Obs.Metrics.incr m_validation_fails;
+    if Obs.on Obs.Error then
+      Obs.emit
+        (E.make ~task:ctx.name ~task_id:ctx.id ~args:[ ("child", E.S child.name) ]
+           E.Validation_fail)
+  | Some Aborted | None -> ());
   (match child.state with
   | Sync_waiting ->
     Ws.rebase_from child.ws ~parent:ctx.ws;
@@ -152,8 +215,12 @@ let merge_child_locked ctx ~validate child =
     child.sync_outcome <- Some (match refusal with None -> Ok () | Some e -> Error e);
     child.state <- Running
   | Completed | Failed ->
+    let status = match child.state with Failed -> "failed" | _ -> "ok" in
     child.state <- Retired;
-    ctx.children <- List.filter (fun c -> c != child) ctx.children
+    ctx.children <- List.filter (fun c -> c != child) ctx.children;
+    if Obs.on Obs.Info then
+      Obs.emit
+        (E.make ~task:child.name ~task_id:child.id ~args:[ ("status", E.S status) ] E.Task_end)
   | Running | Retired -> assert false);
   ctx.rt.sched.broadcast ()
 
@@ -167,23 +234,44 @@ let truncate_locked ctx =
 
 let default_validate _ = true
 
+(* Bracket one merge-family call: a Merge_begin/Merge_end span (so traces
+   show merge wait time, i.e. how long the parent sat blocked on children)
+   plus a latency sample.  Events carry no duration — sinks derive it from
+   the two timestamps, keeping event *structure* deterministic. *)
+let instrumented_merge ctx kind f =
+  let detail = Obs.on Obs.Debug in
+  let timed = Obs.Metrics.is_enabled () in
+  if not (detail || timed) then f ()
+  else begin
+    if detail then
+      Obs.emit (E.make ~task:ctx.name ~task_id:ctx.id ~args:[ ("kind", E.S kind) ] E.Merge_begin);
+    let t0 = if timed then Obs.Clock.now_ns () else 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        if timed then Obs.Metrics.observe_ns h_merge_ns ~since:t0;
+        if detail then
+          Obs.emit (E.make ~task:ctx.name ~task_id:ctx.id ~args:[ ("kind", E.S kind) ] E.Merge_end))
+      f
+  end
+
 let check_child ctx h =
   match h.parent with
   | Some p when p == ctx -> ()
   | Some _ | None -> raise (Not_a_child h.name)
 
 let merge_all ?(validate = default_validate) ctx =
-  with_lock ctx.rt (fun () ->
-      let rec wait () =
-        if List.for_all ready ctx.children then ()
-        else begin
-          ctx.rt.sched.wait ();
-          wait ()
-        end
-      in
-      wait ();
-      List.iter (merge_child_locked ctx ~validate) ctx.children;
-      truncate_locked ctx)
+  instrumented_merge ctx "merge_all" (fun () ->
+      with_lock ctx.rt (fun () ->
+          let rec wait () =
+            if List.for_all ready ctx.children then ()
+            else begin
+              ctx.rt.sched.wait ();
+              wait ()
+            end
+          in
+          wait ();
+          List.iter (merge_child_locked ctx ~validate) ctx.children;
+          truncate_locked ctx))
 
 (* The replayed variant of a merge_any-style wait: hold out for the child
    the trace names.  If every child retires without it appearing the trace
@@ -217,21 +305,23 @@ let dedup handles =
   List.fold_left (fun acc h -> if List.memq h acc then acc else h :: acc) [] handles |> List.rev
 
 let merge_all_from_set ?(validate = default_validate) ctx handles =
-  with_lock ctx.rt (fun () ->
-      List.iter (check_child ctx) handles;
-      let live = List.filter (fun h -> h.state <> Retired) (dedup handles) in
-      let rec wait () =
-        if List.for_all ready live then ()
-        else begin
-          ctx.rt.sched.wait ();
-          wait ()
-        end
-      in
-      wait ();
-      List.iter (merge_child_locked ctx ~validate) live;
-      truncate_locked ctx)
+  instrumented_merge ctx "merge_all_from_set" (fun () ->
+      with_lock ctx.rt (fun () ->
+          List.iter (check_child ctx) handles;
+          let live = List.filter (fun h -> h.state <> Retired) (dedup handles) in
+          let rec wait () =
+            if List.for_all ready live then ()
+            else begin
+              ctx.rt.sched.wait ();
+              wait ()
+            end
+          in
+          wait ();
+          List.iter (merge_child_locked ctx ~validate) live;
+          truncate_locked ctx))
 
 let merge_any_from_set ?(validate = default_validate) ctx handles =
+  instrumented_merge ctx "merge_any_from_set" @@ fun () ->
   with_lock ctx.rt (fun () ->
       List.iter (check_child ctx) handles;
       let handles = dedup handles in
@@ -259,6 +349,7 @@ let merge_any_from_set ?(validate = default_validate) ctx handles =
         wait ())
 
 let merge_any ?(validate = default_validate) ctx =
+  instrumented_merge ctx "merge_any" @@ fun () ->
   with_lock ctx.rt (fun () ->
       match replayed_choice ctx with
       | Some target ->
@@ -290,20 +381,41 @@ let sync ctx =
   (match ctx.parent with
   | None -> invalid_arg "Runtime.sync: the root task has no parent to sync with"
   | Some _ -> ());
-  with_lock ctx.rt (fun () ->
-      Log.debug (fun m -> m "sync %s: parked" ctx.name);
-      ctx.state <- Sync_waiting;
-      ctx.rt.sched.broadcast ();
-      let rec wait () =
-        match ctx.sync_outcome with
-        | Some outcome ->
-          ctx.sync_outcome <- None;
-          outcome
-        | None ->
-          ctx.rt.sched.wait ();
-          wait ()
-      in
-      wait ())
+  Obs.Metrics.incr m_syncs;
+  let detail = Obs.on Obs.Debug in
+  let timed = Obs.Metrics.is_enabled () in
+  if detail then Obs.emit (E.make ~task:ctx.name ~task_id:ctx.id E.Sync_begin);
+  let t0 = if timed then Obs.Clock.now_ns () else 0 in
+  let outcome =
+    with_lock ctx.rt (fun () ->
+        Log.debug (fun m -> m "sync %s: parked" ctx.name);
+        ctx.state <- Sync_waiting;
+        ctx.rt.sched.broadcast ();
+        let rec wait () =
+          match ctx.sync_outcome with
+          | Some outcome ->
+            ctx.sync_outcome <- None;
+            outcome
+          | None ->
+            ctx.rt.sched.wait ();
+            wait ()
+        in
+        wait ())
+  in
+  if timed then Obs.Metrics.observe_ns h_sync_wait_ns ~since:t0;
+  if detail then
+    Obs.emit
+      (E.make ~task:ctx.name ~task_id:ctx.id
+         ~args:
+           [ ( "outcome"
+             , E.S
+                 (match outcome with
+                 | Ok () -> "merged"
+                 | Error Validation_failed -> "validation_failed"
+                 | Error Aborted -> "aborted") )
+           ]
+         E.Sync_end);
+  outcome
 
 (* On failure a task abandons its children: abort them all and keep merging
    (discarding) until each completes.  A sync-looping child sees
@@ -348,9 +460,19 @@ let run_task child body =
   in
   finalize child outcome
 
+let timed_copy ws =
+  if Obs.Metrics.is_enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let copy = Ws.copy ws in
+    Obs.Metrics.observe_ns h_ws_copy_ns ~since:t0;
+    copy
+  end
+  else Ws.copy ws
+
 let spawn ctx body =
+  Obs.Metrics.incr m_spawns;
   let child =
-    with_lock ctx.rt (fun () -> make_child ctx ~ws:(Ws.copy ctx.ws) ~base:(Ws.snapshot ctx.ws))
+    with_lock ctx.rt (fun () -> make_child ctx ~ws:(timed_copy ctx.ws) ~base:(Ws.snapshot ctx.ws))
   in
   ctx.rt.sched.fork (fun () -> run_task child body);
   child
@@ -359,11 +481,12 @@ let clone ctx body =
   match ctx.parent with
   | None -> invalid_arg "Runtime.clone: the root task cannot clone itself"
   | Some parent ->
+    Obs.Metrics.incr m_clones;
     let sibling =
       with_lock ctx.rt (fun () ->
           if not (Ws.is_pristine ctx.ws) then
             invalid_arg "Runtime.clone: cloning task has unmerged local operations";
-          make_child parent ~ws:(Ws.copy ctx.ws) ~base:ctx.base)
+          make_child ~obs_kind:E.Clone parent ~ws:(timed_copy ctx.ws) ~base:ctx.base)
     in
     ctx.rt.sched.fork (fun () -> run_task sibling body);
     sibling
@@ -372,6 +495,9 @@ let abort ctx h =
   with_lock ctx.rt (fun () ->
       check_child ctx h;
       Log.debug (fun m -> m "abort %s (by %s)" h.name ctx.name);
+      Obs.Metrics.incr m_aborts;
+      if Obs.on Obs.Info then
+        Obs.emit (E.make ~task:ctx.name ~task_id:ctx.id ~args:[ ("child", E.S h.name) ] E.Abort);
       h.abort_requested <- true;
       ctx.rt.sched.broadcast ())
 
@@ -383,6 +509,8 @@ let error h = with_lock h.rt (fun () -> h.failure)
 let has_children ctx = with_lock ctx.rt (fun () -> ctx.children <> [])
 let task_name ctx = ctx.name
 let handle_name h = h.name
+let task_id ctx = ctx.id
+let handle_id h = h.id
 
 (* --- root ------------------------------------------------------------------ *)
 
@@ -404,12 +532,18 @@ let make_root rt =
 (* Root body + the implicit final merges + failure draining, with the
    outcome reified so schedulers decide where to re-raise. *)
 let run_root root body =
+  if Obs.on Obs.Info then Obs.emit (E.make ~task:root.name ~task_id:root.id E.Task_start);
   let result =
     match body root with
     | v -> ( match merge_until_no_children root with () -> Ok v | exception e -> Error e)
     | exception e -> Error e
   in
   (match result with Ok _ -> () | Error _ -> ( try drain_discarding root with _ -> ()));
+  if Obs.on Obs.Info then
+    Obs.emit
+      (E.make ~task:root.name ~task_id:root.id
+         ~args:[ ("status", E.S (match result with Ok _ -> "ok" | Error _ -> "failed")) ]
+         E.Task_end);
   result
 
 let threaded_sched exec =

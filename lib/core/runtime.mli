@@ -181,3 +181,10 @@ val task_name : ctx -> string
     deterministically spawned tasks. *)
 
 val handle_name : handle -> string
+
+val task_id : ctx -> int
+(** Process-unique numeric id — allocation-ordered, so {e not} stable across
+    runs; use {!task_name} for deterministic identity.  This is the id
+    {!Sm_obs} events carry and Chrome traces use as the thread lane. *)
+
+val handle_id : handle -> int

@@ -1,5 +1,16 @@
 module C = Sm_util.Codec
 module Ws = Sm_mergeable.Workspace
+module Obs = Sm_obs
+module E = Sm_obs.Event
+
+let m_remote_spawns = Obs.Metrics.counter "dist.remote_spawns"
+let m_remote_syncs = Obs.Metrics.counter "dist.remote_syncs"
+let m_remote_refusals = Obs.Metrics.counter "dist.remote_refusals"
+let m_buffered = Obs.Metrics.counter "dist.buffered_events"
+let h_buffer_depth = Obs.Metrics.histogram "dist.buffer_depth"
+
+let coord_task = "coordinator"
+let coord_tid = Wire.obs_coordinator_tid
 
 type cluster =
   { registry : Registry.t
@@ -70,6 +81,17 @@ let spawn ctx ?node task ~argument =
   let uid = Atomic.fetch_and_add cluster.next_uid 1 in
   let child = { uid; node; base = Ws.snapshot ctx.ws; cstate = Live; aborted = false } in
   ctx.children <- ctx.children @ [ child ];
+  Obs.Metrics.incr m_remote_spawns;
+  if Obs.on Obs.Info then
+    Obs.emit
+      (E.make ~task:coord_task ~task_id:coord_tid
+         ~args:
+           [ ("child", E.S (Wire.obs_task_name ~rank:node ~uid))
+           ; ("child_id", E.I (Wire.obs_task_tid uid))
+           ; ("rank", E.I node)
+           ; ("task", E.S task)
+           ]
+         E.Spawn);
   send_down cluster node
     (Wire.Spawn { uid; task; argument; snapshot = Registry.encode_snapshot cluster.registry ctx.ws });
   child
@@ -104,7 +126,14 @@ let next_event_for ctx uid =
         let ev = decode_up bytes in
         if Wire.uid_of_up ev = uid then ev
         else begin
+          (* Out-of-order upstream event: journal the buffering so merge
+             skew between ranks is visible (depth spikes = one slow rank). *)
           Queue.add ev ctx.buffered;
+          Obs.Metrics.incr m_buffered;
+          Obs.Metrics.observe h_buffer_depth (float_of_int (Queue.length ctx.buffered));
+          Obs.note ~task:coord_task ~task_id:coord_tid "coord.buffer"
+            ~args:
+              [ ("uid", E.I (Wire.uid_of_up ev)); ("depth", E.I (Queue.length ctx.buffered)) ];
           pull ()
         end
     in
@@ -154,18 +183,39 @@ let try_merge ctx child journal ~validate =
   | granted -> granted
   | exception C.Decode_error msg -> raise (merge_decode_error child.uid msg)
 
+let obs_merge_child child ~journal ~outcome =
+  if Obs.on Obs.Debug then
+    Obs.emit
+      (E.make ~task:coord_task ~task_id:coord_tid
+         ~args:
+           [ ("child", E.S (Wire.obs_task_name ~rank:child.node ~uid:child.uid))
+           ; ("rank", E.I child.node)
+           ; ("journal_keys", E.I (List.length journal))
+           ; ("outcome", E.S outcome)
+           ]
+         E.Merge_child)
+
 let process ?(validate = default_validate) ctx child ev =
   let cluster = ctx.cluster in
   match ev with
   | Wire.Sync_request { journal; _ } ->
     let granted = if child.aborted then false else try_merge ctx child journal ~validate in
+    Obs.Metrics.incr m_remote_syncs;
+    if not granted then Obs.Metrics.incr m_remote_refusals;
+    obs_merge_child child ~journal ~outcome:(if granted then "merged" else "refused");
     child.base <- Ws.snapshot ctx.ws;
     send_down cluster child.node
       (Wire.Reply { uid = child.uid; granted; snapshot = Registry.encode_snapshot cluster.registry ctx.ws })
   | Wire.Task_completed { journal; _ } ->
-    if not child.aborted then ignore (try_merge ctx child journal ~validate);
+    let merged = if child.aborted then false else try_merge ctx child journal ~validate in
+    if not merged then Obs.Metrics.incr m_remote_refusals;
+    obs_merge_child child ~journal ~outcome:(if merged then "merged" else "refused");
     child.cstate <- Retired_ok
-  | Wire.Task_failed { reason; _ } -> child.cstate <- Retired_failed reason
+  | Wire.Task_failed { reason; _ } ->
+    if Obs.on Obs.Error then
+      Obs.note ~level:Obs.Error ~task:coord_task ~task_id:coord_tid "remote_task_failed"
+        ~args:[ ("rank", E.I child.node); ("uid", E.I child.uid); ("reason", E.S reason) ];
+    child.cstate <- Retired_failed reason
 
 let merge_all ?validate ctx =
   List.iter (fun child -> process ?validate ctx child (next_event_for ctx child.uid)) (live ctx)

@@ -1,4 +1,8 @@
 module C = Sm_util.Codec
+module Obs = Sm_obs
+module E = Sm_obs.Event
+
+let m_node_tasks = Obs.Metrics.counter "dist.node_tasks"
 
 type t =
   { rank : int
@@ -12,20 +16,49 @@ type reply =
   }
 
 let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot () =
+  let obs_task = Wire.obs_task_name ~rank ~uid in
+  let obs_tid = Wire.obs_task_tid uid in
+  Obs.Metrics.incr m_node_tasks;
+  if Obs.on Obs.Info then
+    Obs.emit
+      (E.make ~task:obs_task ~task_id:obs_tid
+         ~args:[ ("rank", E.I rank); ("task", E.S task) ]
+         E.Task_start);
   let ws = ref (Registry.build_workspace registry snapshot) in
   let send up = Sm_util.Bqueue.push upstream (C.encode Wire.up_codec up) in
   let do_sync () =
+    if Obs.on Obs.Debug then Obs.emit (E.make ~task:obs_task ~task_id:obs_tid E.Sync_begin);
     send (Wire.Sync_request { uid; journal = Registry.encode_journal registry !ws });
-    match Sm_util.Bqueue.pop mailbox with
-    | None -> `Refused (* node shutting down mid-sync; treat as refusal *)
-    | Some { granted; snapshot } ->
-      ws := Registry.build_workspace registry snapshot;
-      if granted then `Granted else `Refused
+    let outcome =
+      match Sm_util.Bqueue.pop mailbox with
+      | None -> `Refused (* node shutting down mid-sync; treat as refusal *)
+      | Some { granted; snapshot } ->
+        ws := Registry.build_workspace registry snapshot;
+        if granted then `Granted else `Refused
+    in
+    if Obs.on Obs.Debug then
+      Obs.emit
+        (E.make ~task:obs_task ~task_id:obs_tid
+           ~args:
+             [ ("outcome", E.S (match outcome with `Granted -> "merged" | `Refused -> "refused")) ]
+           E.Sync_end);
+    outcome
   in
   let ctx = Registry.make_ctx ~ws ~do_sync ~rank ~argument in
+  let finish status =
+    if Obs.on Obs.Info then
+      Obs.emit
+        (E.make ~task:obs_task ~task_id:obs_tid
+           ~args:[ ("status", E.S status); ("rank", E.I rank) ]
+           E.Task_end)
+  in
   match Registry.find_task registry task ctx with
-  | () -> send (Wire.Task_completed { uid; journal = Registry.encode_journal registry !ws })
-  | exception e -> send (Wire.Task_failed { uid; reason = Printexc.to_string e })
+  | () ->
+    send (Wire.Task_completed { uid; journal = Registry.encode_journal registry !ws });
+    finish "ok"
+  | exception e ->
+    send (Wire.Task_failed { uid; reason = Printexc.to_string e });
+    finish "failed"
 
 (* The node's main loop: decode commands, start task threads, route replies.
    Only this thread touches the mailbox table, so no lock is needed. *)

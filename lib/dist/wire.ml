@@ -90,3 +90,11 @@ let up_codec =
 
 let uid_of_up = function
   | Sync_request { uid; _ } | Task_completed { uid; _ } | Task_failed { uid; _ } -> uid
+
+(* Trace lane ids: local Runtime tasks use their small allocation-ordered
+   ids, so the distributed layer parks far above them — the coordinator on
+   one fixed lane, each remote task on a lane derived from its uid.  Shared
+   here because both the coordinator and the node sides tag events. *)
+let obs_coordinator_tid = 1_000_000
+let obs_task_tid uid = 1_000_001 + uid
+let obs_task_name ~rank ~uid = Printf.sprintf "rank%d/task%d" rank uid

@@ -39,3 +39,13 @@ val down_codec : down Sm_util.Codec.t
 val up_codec : up Sm_util.Codec.t
 
 val uid_of_up : up -> int
+
+(** {1 Observability conventions}
+
+    The [Sm_obs] task-id lanes used by the distributed layer, kept well away
+    from local runtime task ids so mixed local/remote Chrome traces stay
+    readable. *)
+
+val obs_coordinator_tid : int
+val obs_task_tid : int -> int
+val obs_task_name : rank:int -> uid:int -> string

@@ -1,0 +1,16 @@
+(** The interface a data structure must implement to be mergeable.
+
+    This is the paper's extension point: "programmers can use an interface to
+    implement new mergeable data structures that work with our system".  A
+    mergeable type is an OT operation module ({!Sm_ot.Op_sig.S}: state,
+    operations, [apply], [transform]) plus a display name.  Everything else —
+    journaling, version tracking, copying, merging — is generic and provided
+    by {!Workspace}. *)
+
+module type S = sig
+  include Sm_ot.Op_sig.S
+
+  val type_name : string
+  (** Shown in diagnostics and mixed into workspace digests, so two values
+      of different mergeable types never digest equal by accident. *)
+end

@@ -94,6 +94,9 @@ let journal t k = Sm_util.Vec.to_list (get_cell t k).journal
 
 let snapshot t = Imap.map (fun (P (_, c)) -> cell_version c) t.cells
 
+let op_count t =
+  Imap.fold (fun _ (P (_, c)) acc -> acc + Sm_util.Vec.length c.journal) t.cells 0
+
 let fresh_copy (P (k, c)) = P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = 0 })
 
 let copy t = { cells = Imap.map fresh_copy t.cells }

@@ -81,6 +81,10 @@ val key_names : t -> string list
 val snapshot : t -> Versions.t
 (** Current version of every bound key. *)
 
+val op_count : t -> int
+(** Total journalled (not yet truncated) operations across every bound key —
+    what a merge of this workspace would transmit.  O(bindings). *)
+
 val copy : t -> t
 (** Child copy: same bindings and states, empty journals.  O(bindings) — the
     persistent states are shared, not deep-copied, so "copying" a workspace

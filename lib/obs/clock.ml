@@ -1,0 +1,17 @@
+(* Wall time squeezed into a strictly increasing nanosecond counter.  OCaml
+   5.1 has no monotonic clock in the stdlib, so we clamp gettimeofday: any
+   read that is not strictly greater than the previous one across the whole
+   process becomes previous+1.  Strict monotonicity gives every event a
+   unique timestamp, which keeps Chrome-trace spans well-nested even when
+   two events land in the same gettimeofday tick. *)
+
+let last = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec bump () =
+    let prev = Atomic.get last in
+    let t' = if t > prev then t else prev + 1 in
+    if Atomic.compare_and_set last prev t' then t' else bump ()
+  in
+  bump ()

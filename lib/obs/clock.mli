@@ -1,0 +1,9 @@
+(** Process-wide event timestamps.
+
+    Nanoseconds since the epoch, forced strictly increasing across every
+    domain and thread (ties are resolved by bumping): two calls never return
+    the same value, and a later call never returns a smaller one.  Resolution
+    is whatever [gettimeofday] gives (~1 us), so treat differences below a
+    microsecond as ordering, not duration. *)
+
+val now_ns : unit -> int

@@ -1,0 +1,153 @@
+module C = Sm_util.Codec
+
+type arg =
+  | I of int
+  | F of float
+  | S of string
+  | B of bool
+
+type kind =
+  | Task_start
+  | Task_end
+  | Spawn
+  | Clone
+  | Merge_begin
+  | Merge_child
+  | Merge_end
+  | Sync_begin
+  | Sync_end
+  | Abort
+  | Validation_fail
+  | Phase_begin
+  | Phase_end
+  | Note
+
+type t =
+  { seq : int
+  ; ts_ns : int
+  ; kind : kind
+  ; task : string
+  ; task_id : int
+  ; args : (string * arg) list
+  }
+
+let seq_counter = Atomic.make 0
+
+let make ?(args = []) ~task ~task_id kind =
+  { seq = Atomic.fetch_and_add seq_counter 1; ts_ns = Clock.now_ns (); kind; task; task_id; args }
+
+(* ["child_id"] carries the child's process-global numeric id (a Chrome
+   thread-id convenience); like [task_id] it is allocation-ordered, not
+   run-stable, so the structural view drops it. *)
+let structural_args args = List.filter (fun (k, _) -> not (String.equal k "child_id")) args
+
+let structure e = (e.kind, e.task, structural_args e.args)
+
+let equal_arg a b =
+  match (a, b) with
+  | I x, I y -> Int.equal x y
+  | F x, F y -> Float.equal x y
+  | S x, S y -> String.equal x y
+  | B x, B y -> Bool.equal x y
+  | (I _ | F _ | S _ | B _), _ -> false
+
+let equal_structure a b =
+  let args_a = structural_args a.args and args_b = structural_args b.args in
+  a.kind = b.kind && String.equal a.task b.task
+  && List.length args_a = List.length args_b
+  && List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal_arg va vb) args_a args_b
+
+let kind_to_string = function
+  | Task_start -> "task_start"
+  | Task_end -> "task_end"
+  | Spawn -> "spawn"
+  | Clone -> "clone"
+  | Merge_begin -> "merge_begin"
+  | Merge_child -> "merge_child"
+  | Merge_end -> "merge_end"
+  | Sync_begin -> "sync_begin"
+  | Sync_end -> "sync_end"
+  | Abort -> "abort"
+  | Validation_fail -> "validation_fail"
+  | Phase_begin -> "phase_begin"
+  | Phase_end -> "phase_end"
+  | Note -> "note"
+
+let all_kinds =
+  [ Task_start; Task_end; Spawn; Clone; Merge_begin; Merge_child; Merge_end; Sync_begin
+  ; Sync_end; Abort; Validation_fail; Phase_begin; Phase_end; Note
+  ]
+
+let kind_of_string s = List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
+
+(* Integer tags for the wire codec: stable, append-only. *)
+let kind_tag = function
+  | Task_start -> 0
+  | Task_end -> 1
+  | Spawn -> 2
+  | Clone -> 3
+  | Merge_begin -> 4
+  | Merge_child -> 5
+  | Merge_end -> 6
+  | Sync_begin -> 7
+  | Sync_end -> 8
+  | Abort -> 9
+  | Validation_fail -> 10
+  | Phase_begin -> 11
+  | Phase_end -> 12
+  | Note -> 13
+
+let kind_of_tag = function
+  | 0 -> Task_start
+  | 1 -> Task_end
+  | 2 -> Spawn
+  | 3 -> Clone
+  | 4 -> Merge_begin
+  | 5 -> Merge_child
+  | 6 -> Merge_end
+  | 7 -> Sync_begin
+  | 8 -> Sync_end
+  | 9 -> Abort
+  | 10 -> Validation_fail
+  | 11 -> Phase_begin
+  | 12 -> Phase_end
+  | 13 -> Note
+  | t -> raise (C.Decode_error (Printf.sprintf "Event.codec: unknown kind tag %d" t))
+
+let arg_codec : arg C.t =
+  C.tagged
+    ~tag:(function I _ -> 0 | F _ -> 1 | S _ -> 2 | B _ -> 3)
+    ~write:(fun w -> function
+      | I i -> C.W.int w i
+      | F f -> C.W.value C.float w f
+      | S s -> C.W.string w s
+      | B b -> C.W.bool w b)
+    ~read:(fun tag r ->
+      match tag with
+      | 0 -> I (C.R.int r)
+      | 1 -> F (C.R.value C.float r)
+      | 2 -> S (C.R.string r)
+      | 3 -> B (C.R.bool r)
+      | t -> raise (C.Decode_error (Printf.sprintf "Event.codec: unknown arg tag %d" t)))
+
+let kind_codec : kind C.t = C.map kind_tag kind_of_tag C.int
+
+let codec : t C.t =
+  C.map
+    (fun e -> ((e.seq, e.ts_ns, e.kind), (e.task, e.task_id, e.args)))
+    (fun ((seq, ts_ns, kind), (task, task_id, args)) -> { seq; ts_ns; kind; task; task_id; args })
+    (C.pair
+       (C.triple C.int C.int kind_codec)
+       (C.triple C.string C.int (C.list (C.pair C.string arg_codec))))
+
+let pp_arg ppf = function
+  | I i -> Format.pp_print_int ppf i
+  | F f -> Format.fprintf ppf "%g" f
+  | S s -> Format.fprintf ppf "%S" s
+  | B b -> Format.pp_print_bool ppf b
+
+let pp ppf e =
+  Format.fprintf ppf "@[<h>#%d %s %s(%d)%a@]" e.seq (kind_to_string e.kind) e.task e.task_id
+    (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+       (fun ppf (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v))
+    e.args

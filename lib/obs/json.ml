@@ -1,0 +1,240 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- printing --------------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats always print with a '.' or exponent so they parse back as Float,
+   keeping Int/Float distinguishable across a round-trip. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s then s
+    else s ^ ".0"
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+let pp ppf j = Format.pp_print_string ppf (to_string j)
+
+(* --- parsing ---------------------------------------------------------------- *)
+
+type parser_state =
+  { src : string
+  ; mutable pos : int
+  }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '/' -> Buffer.add_char buf '/'
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 'r' -> Buffer.add_char buf '\r'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some 'b' -> Buffer.add_char buf '\b'
+      | Some 'f' -> Buffer.add_char buf '\012'
+      | Some 'u' ->
+        if st.pos + 4 >= String.length st.src then fail st "truncated \\u escape";
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some u -> utf8_of_code buf u
+        | None -> fail st "bad \\u escape");
+        st.pos <- st.pos + 4
+      | _ -> fail st "bad escape");
+      st.pos <- st.pos + 1;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while match peek st with Some c when is_num_char c -> true | _ -> false do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    match float_of_string_opt s with Some f -> Float f | None -> fail st "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> ( match float_of_string_opt s with Some f -> Float f | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          elems (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (elems [])
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* --- accessors -------------------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List xs -> Some xs | _ -> None

@@ -1,0 +1,39 @@
+(** A minimal JSON tree, printer and parser — just enough for the JSONL and
+    Chrome-trace exporters and the benchmark harness's [--json] output,
+    without pulling a dependency into the tree.
+
+    Printing guarantees [Float]s carry a ['.'] or exponent, so [Int] vs
+    [Float] survives {!to_string}/{!of_string} round-trips.  The parser
+    accepts standard JSON (with [\uXXXX] escapes re-encoded as UTF-8) and
+    rejects trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,49 @@
+type t =
+  { emit : Event.t -> unit
+  ; flush : unit -> unit
+  ; close : unit -> unit
+  }
+
+let make ?(flush = fun () -> ()) ?(close = fun () -> ()) emit = { emit; flush; close }
+
+let null = { emit = ignore; flush = (fun () -> ()); close = (fun () -> ()) }
+
+let tee a b =
+  { emit =
+      (fun e ->
+        a.emit e;
+        b.emit e)
+  ; flush =
+      (fun () ->
+        a.flush ();
+        b.flush ())
+  ; close =
+      (fun () ->
+        a.close ();
+        b.close ())
+  }
+
+let collecting () =
+  let lock = Mutex.create () in
+  let events = Sm_util.Vec.create () in
+  let sink = make (fun e -> Mutex.protect lock (fun () -> Sm_util.Vec.push events e)) in
+  let collected () =
+    Mutex.protect lock (fun () -> Sm_util.Vec.to_list events)
+    |> List.sort (fun (a : Event.t) b -> compare a.seq b.seq)
+  in
+  (sink, collected)
+
+(* The installed sink.  Verbosity gating happens before [emit] is even
+   called (see Sm_obs), so with the default configuration the sink is never
+   consulted; [null] here is belt and braces. *)
+let current = Atomic.make null
+
+let set s = Atomic.set current s
+let get () = Atomic.get current
+let emit e = (Atomic.get current).emit e
+let flush () = (Atomic.get current).flush ()
+
+let reset () =
+  let s = Atomic.exchange current null in
+  s.flush ();
+  s.close ()

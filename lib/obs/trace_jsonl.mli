@@ -1,0 +1,32 @@
+(** JSON-lines event export: one self-describing JSON object per event, one
+    per line — greppable, streamable, and parseable back into {!Event.t}
+    (the decoder is the round-trip test's oracle and the foundation for
+    later record/replay tooling). *)
+
+exception Decode_error of string
+
+val arg_to_json : Event.arg -> Json.t
+
+val arg_of_json : Json.t -> Event.arg
+(** @raise Decode_error on non-scalar JSON. *)
+
+val event_to_json : Event.t -> Json.t
+val event_of_json : Json.t -> Event.t
+(** @raise Decode_error on missing/ill-typed fields or unknown kinds. *)
+
+val event_to_line : Event.t -> string
+val event_of_line : string -> Event.t
+(** @raise Decode_error on malformed JSON or schema violations. *)
+
+val sink : out_channel -> Sink.t
+(** Write each event as a line to the channel (mutex-serialized).  Flushing
+    the sink flushes the channel; the channel is not closed. *)
+
+val file_sink : string -> Sink.t
+(** {!sink} on a fresh file; closing the sink closes the file. *)
+
+val events_of_channel : in_channel -> Event.t list
+
+val load : string -> Event.t list
+(** Read a JSONL trace file back, skipping blank lines.
+    @raise Decode_error on malformed lines. *)

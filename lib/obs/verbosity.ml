@@ -1,0 +1,47 @@
+type level =
+  | Off
+  | Error
+  | Info
+  | Debug
+  | Trace
+
+let to_int = function Off -> 0 | Error -> 1 | Info -> 2 | Debug -> 3 | Trace -> 4
+
+let of_int = function
+  | 0 -> Off
+  | 1 -> Error
+  | 2 -> Info
+  | 3 -> Debug
+  | _ -> Trace
+
+let to_string = function
+  | Off -> "off"
+  | Error -> "error"
+  | Info -> "info"
+  | Debug -> "debug"
+  | Trace -> "trace"
+
+let of_string = function
+  | "off" -> Some Off
+  | "error" -> Some Error
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | "trace" -> Some Trace
+  | _ -> None
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)
+
+(* The whole point of keeping the level as a bare int in one Atomic: the
+   disabled path of every instrumentation site is a single load and compare. *)
+let current = Atomic.make 0
+
+let set l = Atomic.set current (to_int l)
+let get () = of_int (Atomic.get current)
+let enabled l =
+  let i = to_int l in
+  i > 0 && i <= Atomic.get current
+
+let of_env ?(var = "SM_OBS_LEVEL") () =
+  match Sys.getenv_opt var with
+  | None -> ()
+  | Some s -> ( match of_string (String.lowercase_ascii s) with Some l -> set l | None -> ())

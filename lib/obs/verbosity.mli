@@ -1,0 +1,40 @@
+(** The global verbosity gate for structured events.
+
+    Per the DebugLevels discipline, instrumentation is written against a
+    level and compiled down to a cheap branch when disabled: sites do
+    [if Verbosity.enabled Debug then ...], so with the default [Off] level no
+    event is ever allocated.  Conventions used by the built-in
+    instrumentation:
+
+    - [Error]: validation failures, remote task failures.
+    - [Info]: lifecycle edges — spawn, clone, task start/end, abort.
+    - [Debug]: per-merge and per-sync detail (ops merged, transform counts,
+      outcomes) plus generic phase spans.
+    - [Trace]: high-volume wire/executor/coordinator-buffer events. *)
+
+type level =
+  | Off
+  | Error
+  | Info
+  | Debug
+  | Trace
+
+val set : level -> unit
+(** Set the process-wide level (default [Off]). *)
+
+val get : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] is true when an event at level [l] should be emitted, i.e.
+    [l <> Off] and [l] is at or below the current level.  One atomic load. *)
+
+val of_env : ?var:string -> unit -> unit
+(** Initialize the level from an environment variable (default
+    [SM_OBS_LEVEL], values [off]/[error]/[info]/[debug]/[trace]); unknown or
+    missing values leave the level unchanged. *)
+
+val to_int : level -> int
+val of_int : int -> level
+val to_string : level -> string
+val of_string : string -> level option
+val pp : Format.formatter -> level -> unit

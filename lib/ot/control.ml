@@ -1,3 +1,10 @@
+(* One process-wide counter across every instantiation: the runtime reads
+   deltas around each merge (merges are serialized per runtime by the global
+   lock) to attribute transform work to individual merges.  Gated on
+   Metrics.set_enabled, so the disabled cost in this hot loop is one atomic
+   load per transformed pair. *)
+let transform_calls = Sm_obs.Metrics.counter "ot.transform_calls"
+
 module Make (O : Op_sig.S) = struct
   let apply_seq s ops = List.fold_left O.apply s ops
 
@@ -19,6 +26,7 @@ module Make (O : Op_sig.S) = struct
     match applied with
     | [] -> ([ a ], [])
     | b :: bs ->
+      Sm_obs.Metrics.add transform_calls 2;
       let a_pieces = O.transform a ~against:b ~tie in
       let b_pieces = O.transform b ~against:a ~tie:(Side.flip tie) in
       let a_final, bs' = cross ~incoming:a_pieces ~applied:bs ~tie in

@@ -10,6 +10,11 @@
     All functions are pure.  Sequences are ordered oldest-first, each
     operation defined on the state produced by its predecessors. *)
 
+val transform_calls : Sm_obs.Metrics.counter
+(** Pairwise transform invocations across every instantiation of {!Make}
+    (each included pair counts both directions).  Only advances while
+    {!Sm_obs.Metrics.set_enabled} profiling is on. *)
+
 module Make (O : Op_sig.S) : sig
   val apply_seq : O.state -> O.op list -> O.state
   (** Fold [O.apply] over a sequence. *)

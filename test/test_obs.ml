@@ -1,0 +1,266 @@
+(* The observability subsystem: verbosity gating, metrics, event codecs,
+   sinks, the Chrome exporter, and the trace-determinism guarantee (a
+   cooperative run's lifecycle event sequence is a pure function of the
+   program). *)
+
+module Obs = Sm_obs
+module E = Sm_obs.Event
+module R = Sm_core.Runtime
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+
+(* Every test that touches the global level/sink/metrics restores them, so
+   the rest of the binary keeps running untraced. *)
+let with_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level Obs.Off;
+      Obs.reset_sink ();
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+    f
+
+(* --- verbosity ------------------------------------------------------------- *)
+
+let verbosity_gating () =
+  with_obs (fun () ->
+      Obs.set_level Obs.Off;
+      check_bool "off blocks error" (not (Obs.on Obs.Error));
+      Obs.set_level Obs.Info;
+      check_bool "info admits error" (Obs.on Obs.Error);
+      check_bool "info admits info" (Obs.on Obs.Info);
+      check_bool "info blocks debug" (not (Obs.on Obs.Debug));
+      check_bool "info blocks trace" (not (Obs.on Obs.Trace));
+      Obs.set_level Obs.Trace;
+      check_bool "trace admits debug" (Obs.on Obs.Debug);
+      check_bool "off is never enabled" (not (Obs.on Obs.Off)))
+
+let verbosity_strings () =
+  List.iter
+    (fun l ->
+      Alcotest.(check (option string))
+        (Obs.Verbosity.to_string l)
+        (Some (Obs.Verbosity.to_string l))
+        (Option.map Obs.Verbosity.to_string (Obs.Verbosity.of_string (Obs.Verbosity.to_string l))))
+    [ Obs.Off; Obs.Error; Obs.Info; Obs.Debug; Obs.Trace ];
+  check_bool "unknown name" (Obs.Verbosity.of_string "chatty" = None)
+
+let clock_monotonic () =
+  let ts = List.init 1000 (fun _ -> Obs.Clock.now_ns ()) in
+  let rec strictly = function
+    | a :: (b :: _ as rest) -> a < b && strictly rest
+    | _ -> true
+  in
+  check_bool "strictly increasing" (strictly ts)
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let metrics_gating () =
+  with_obs (fun () ->
+      let c = Obs.Metrics.counter "test.gated" in
+      Obs.Metrics.incr c;
+      Alcotest.(check int) "disabled incr is dropped" 0 (Obs.Metrics.value c);
+      Obs.Metrics.set_enabled true;
+      Obs.Metrics.incr c;
+      Obs.Metrics.add c 4;
+      Alcotest.(check int) "enabled counts" 5 (Obs.Metrics.value c);
+      check_bool "same name, same cell" (Obs.Metrics.value (Obs.Metrics.counter "test.gated") = 5);
+      Obs.Metrics.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.value c))
+
+let metrics_histogram () =
+  with_obs (fun () ->
+      let h = Obs.Metrics.histogram "test.hist" in
+      Obs.Metrics.observe h 1.0;
+      check_bool "disabled observe is dropped" (Obs.Metrics.samples h = []);
+      Obs.Metrics.set_enabled true;
+      List.iter (Obs.Metrics.observe h) [ 10.0; 30.0; 20.0 ];
+      Alcotest.(check int) "3 samples" 3 (List.length (Obs.Metrics.samples h));
+      (match Obs.Metrics.summary h with
+      | None -> Alcotest.fail "summary expected"
+      | Some s ->
+        Alcotest.(check (float 1e-9)) "mean" 20.0 s.Sm_util.Stats.mean;
+        Alcotest.(check (float 1e-9)) "median" 20.0 s.Sm_util.Stats.median);
+      Alcotest.(check (option (float 1e-9))) "p100" (Some 30.0)
+        (Obs.Metrics.percentile h ~p:100.0);
+      let x = Obs.Metrics.time h (fun () -> 42) in
+      Alcotest.(check int) "time passes result through" 42 x;
+      Alcotest.(check int) "time recorded a sample" 4 (List.length (Obs.Metrics.samples h));
+      check_bool "registry lists it" (List.mem_assoc "test.hist" (Obs.Metrics.histograms ())))
+
+let metrics_name_clash () =
+  with_obs (fun () ->
+      ignore (Obs.Metrics.counter "test.clash");
+      check_bool "histogram over a counter name raises"
+        (match Obs.Metrics.histogram "test.clash" with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+(* --- event codecs ---------------------------------------------------------- *)
+
+let sample_event () =
+  E.make
+    ~args:
+      [ ("child", E.S "root/0")
+      ; ("ops", E.I 7)
+      ; ("ratio", E.F 1.5)
+      ; ("whole", E.F 2.0) (* integral float: the JSON round-trip must keep it a float *)
+      ; ("ok", E.B true)
+      ; ("quoted", E.S "a\"b\\c\nd")
+      ]
+    ~task:"root" ~task_id:3 E.Merge_child
+
+let event_binary_roundtrip () =
+  List.iter
+    (fun kind ->
+      let e = E.make ~args:[ ("k", E.S "v") ] ~task:"t" ~task_id:1 kind in
+      let e' = Sm_util.Codec.decode E.codec (Sm_util.Codec.encode E.codec e) in
+      check_bool (E.kind_to_string kind) (e = e'))
+    E.all_kinds;
+  let e = sample_event () in
+  check_bool "args survive" (Sm_util.Codec.decode E.codec (Sm_util.Codec.encode E.codec e) = e)
+
+let jsonl_roundtrip () =
+  let e = sample_event () in
+  let e' = Obs.Trace_jsonl.event_of_line (Obs.Trace_jsonl.event_to_line e) in
+  check_bool "full record equality" (e = e');
+  check_bool "single line" (not (String.contains (Obs.Trace_jsonl.event_to_line e) '\n'))
+
+let jsonl_file_roundtrip () =
+  with_obs (fun () ->
+      let path = Filename.temp_file "sm_obs_test" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let sink = Obs.Trace_jsonl.file_sink path in
+          Obs.set_level Obs.Debug;
+          Obs.set_sink sink;
+          let emitted =
+            List.init 5 (fun i ->
+                let e = E.make ~args:[ ("i", E.I i) ] ~task:"writer" ~task_id:9 E.Note in
+                Obs.emit e;
+                e)
+          in
+          Obs.reset_sink ();
+          let loaded = Obs.Trace_jsonl.load path in
+          check_bool "all lines parse back" (loaded = emitted)))
+
+let json_parser () =
+  let module J = Obs.Json in
+  let doc = J.Obj [ ("a", J.Int 1); ("b", J.Float 2.0); ("s", J.String "x\"y"); ("l", J.List [ J.Bool true; J.Null ]) ] in
+  check_bool "print/parse round-trip" (J.of_string (J.to_string doc) = doc);
+  check_bool "integral float stays float" (J.of_string (J.to_string (J.Float 3.0)) = J.Float 3.0);
+  check_bool "int stays int" (J.of_string "17" = J.Int 17);
+  check_bool "trailing garbage rejected"
+    (match J.of_string "{} x" with exception J.Parse_error _ -> true | _ -> false)
+
+(* --- sinks and spans ------------------------------------------------------- *)
+
+let sink_collect_and_tee () =
+  with_obs (fun () ->
+      let a, read_a = Obs.Sink.collecting () in
+      let b, read_b = Obs.Sink.collecting () in
+      Obs.set_level Obs.Info;
+      Obs.set_sink (Obs.Sink.tee a b);
+      Obs.emit (E.make ~task:"x" ~task_id:1 E.Task_start);
+      Obs.emit (E.make ~task:"x" ~task_id:1 E.Task_end);
+      Alcotest.(check int) "both sinks saw both" 2 (List.length (read_a ()));
+      check_bool "tee delivers identically" (read_a () = read_b ()))
+
+let span_exception_safe () =
+  with_obs (fun () ->
+      let sink, read = Obs.Sink.collecting () in
+      Obs.set_level Obs.Debug;
+      Obs.set_sink sink;
+      (try Obs.Span.with_ ~task:"t" ~task_id:1 "doomed" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      match read () with
+      | [ b; e ] ->
+        check_bool "begin" (b.E.kind = E.Phase_begin);
+        check_bool "end still emitted" (e.E.kind = E.Phase_end)
+      | evs -> Alcotest.failf "expected begin+end, got %d events" (List.length evs))
+
+(* --- the exporters against a real run -------------------------------------- *)
+
+let counter = Sm_mergeable.Mcounter.key ~name:"obs-test-counter"
+
+let traced_program ctx =
+  let ws = R.workspace ctx in
+  Sm_mergeable.Workspace.init ws counter 0;
+  let hs =
+    List.init 3 (fun _ ->
+        R.spawn ctx (fun c ->
+            Sm_mergeable.Mcounter.incr (R.workspace c) counter;
+            ignore (R.sync c);
+            Sm_mergeable.Mcounter.incr (R.workspace c) counter))
+  in
+  R.merge_all_from_set ctx hs
+
+let chrome_trace_valid () =
+  with_obs (fun () ->
+      let recorder = Obs.Trace_chrome.recorder () in
+      Obs.set_level Obs.Debug;
+      Obs.set_sink (Obs.Trace_chrome.sink recorder);
+      R.run traced_program;
+      Obs.reset_sink ();
+      let module J = Obs.Json in
+      (* the document must be valid JSON that survives our own parser *)
+      let doc = J.of_string (J.to_string (Obs.Trace_chrome.to_json recorder)) in
+      let events = Option.get (J.to_list (Option.get (J.member "traceEvents" doc))) in
+      let x_slices =
+        List.filter_map
+          (fun ev ->
+            match (J.member "ph" ev, J.member "name" ev) with
+            | Some (J.String "X"), Some (J.String name) -> Some name
+            | _ -> None)
+          events
+      in
+      (* one complete task slice per spawn plus the root's own *)
+      let task_slices = List.filter (fun n -> String.length n >= 5 && String.sub n 0 5 = "task ") x_slices in
+      Alcotest.(check int) "a slice per spawned task + root" 4 (List.length task_slices);
+      check_bool "merge slices present" (List.exists (fun n -> n = "merge:merge_all_from_set") x_slices);
+      check_bool "sync slices present" (List.exists (fun n -> n = "sync") x_slices);
+      check_bool "durations are non-negative"
+        (List.for_all
+           (fun ev ->
+             match J.member "dur" ev with
+             | Some d -> Option.get (J.to_float d) >= 0.0
+             | None -> true)
+           events))
+
+let trace_deterministic () =
+  with_obs (fun () ->
+      Obs.set_level Obs.Debug;
+      let capture () =
+        let sink, read = Obs.Sink.collecting () in
+        Obs.set_sink sink;
+        R.Coop.run traced_program;
+        Obs.set_sink Obs.Sink.null;
+        read ()
+      in
+      let a = capture () in
+      let b = capture () in
+      Alcotest.(check int) "same event count" (List.length a) (List.length b);
+      check_bool "non-trivial trace" (List.length a > 10);
+      List.iteri
+        (fun i (ea, eb) ->
+          if not (E.equal_structure ea eb) then
+            Alcotest.failf "event %d differs: %a vs %a" i E.pp ea E.pp eb)
+        (List.combine a b))
+
+let suite =
+  [ Alcotest.test_case "verbosity: gating" `Quick verbosity_gating
+  ; Alcotest.test_case "verbosity: string round-trip" `Quick verbosity_strings
+  ; Alcotest.test_case "clock: strictly monotonic" `Quick clock_monotonic
+  ; Alcotest.test_case "metrics: enable gate + counters" `Quick metrics_gating
+  ; Alcotest.test_case "metrics: histograms" `Quick metrics_histogram
+  ; Alcotest.test_case "metrics: kind clash rejected" `Quick metrics_name_clash
+  ; Alcotest.test_case "event: binary codec round-trip" `Quick event_binary_roundtrip
+  ; Alcotest.test_case "jsonl: line round-trip" `Quick jsonl_roundtrip
+  ; Alcotest.test_case "jsonl: file sink round-trip" `Quick jsonl_file_roundtrip
+  ; Alcotest.test_case "json: printer/parser" `Quick json_parser
+  ; Alcotest.test_case "sink: collecting + tee" `Quick sink_collect_and_tee
+  ; Alcotest.test_case "span: end survives exceptions" `Quick span_exception_safe
+  ; Alcotest.test_case "chrome: complete slices from a run" `Quick chrome_trace_valid
+  ; Alcotest.test_case "determinism: coop trace structure" `Quick trace_deterministic
+  ]

@@ -87,6 +87,38 @@ let stats_basics () =
   Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty") (fun () ->
       ignore (U.Stats.mean []))
 
+let stats_single_element () =
+  let s = U.Stats.summarize [ 42.0 ] in
+  Alcotest.(check int) "n" 1 s.n;
+  Alcotest.(check (float 1e-9)) "mean" 42.0 s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.stddev;
+  Alcotest.(check (float 1e-9)) "min" 42.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 42.0 s.max;
+  Alcotest.(check (float 1e-9)) "median" 42.0 s.median;
+  Alcotest.(check (float 1e-9)) "p0" 42.0 (U.Stats.percentile [ 42.0 ] ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p100" 42.0 (U.Stats.percentile [ 42.0 ] ~p:100.0)
+
+let stats_percentile_bounds () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  (* nearest-rank: p=0 clamps to the smallest, p=100 is the largest *)
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (U.Stats.percentile xs ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (U.Stats.percentile xs ~p:100.0);
+  Alcotest.(check (float 1e-9)) "p50 odd n" 3.0 (U.Stats.percentile xs ~p:50.0);
+  (* even n: nearest-rank takes the lower middle, not an interpolation *)
+  Alcotest.(check (float 1e-9)) "p50 even n" 2.0 (U.Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:50.0);
+  Alcotest.(check (float 1e-9)) "p95 of 100" 95.0
+    (U.Stats.percentile (List.init 100 (fun i -> float_of_int (i + 1))) ~p:95.0)
+
+let stats_invalid () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (U.Stats.summarize []));
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (U.Stats.percentile [] ~p:50.0));
+  Alcotest.check_raises "p below range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (U.Stats.percentile [ 1.0 ] ~p:(-0.1)));
+  Alcotest.check_raises "p above range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (U.Stats.percentile [ 1.0 ] ~p:100.5))
+
 let bqueue_fifo () =
   let q = U.Bqueue.create () in
   List.iter (U.Bqueue.push q) [ 1; 2; 3 ];
@@ -177,6 +209,9 @@ let suite =
   ; rng_bounds
   ; rng_shuffle_permutes
   ; Alcotest.test_case "stats: summary" `Quick stats_basics
+  ; Alcotest.test_case "stats: single element" `Quick stats_single_element
+  ; Alcotest.test_case "stats: percentile boundaries" `Quick stats_percentile_bounds
+  ; Alcotest.test_case "stats: invalid inputs" `Quick stats_invalid
   ; Alcotest.test_case "bqueue: fifo/close" `Quick bqueue_fifo
   ; Alcotest.test_case "bqueue: producer/consumer threads" `Quick bqueue_threads
   ; Alcotest.test_case "sha1: FIPS vectors" `Quick sha1_vectors
