@@ -21,6 +21,9 @@
      --obs          enable Sm_obs metrics and dump counters/histograms at exit
      --trace FILE   capture a Chrome trace_event file of the run (sets the
                     verbosity to Debug unless something already raised it)
+     --trace-jsonl FILE   capture the structured event stream as JSONL —
+                    the input format of `sm-trace` (summary / critical-path /
+                    attribute / diff / expo); combinable with --trace
 
    Absolute times differ from the paper's i7-3520M testbed; the *shapes* are
    what EXPERIMENTS.md compares: linearity in l, a workload-independent
@@ -564,32 +567,47 @@ let () =
   let has f = List.mem f args in
   Sm_obs.Verbosity.of_env ();
   json_mode := has "--json";
-  let trace_path =
+  let flag_value name =
     let rec find = function
-      | "--trace" :: path :: _ -> Some path
+      | f :: path :: _ when f = name -> Some path
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let trace_path = flag_value "--trace" in
+  let jsonl_path = flag_value "--trace-jsonl" in
   let obs = has "--obs" in
   if obs then Sm_obs.Metrics.set_enabled true;
+  if (trace_path <> None || jsonl_path <> None) && Sm_obs.level () = Sm_obs.Off then
+    Sm_obs.set_level Sm_obs.Debug;
   let recorder =
     Option.map
       (fun path ->
-        if Sm_obs.level () = Sm_obs.Off then Sm_obs.set_level Sm_obs.Debug;
         let r = Sm_obs.Trace_chrome.recorder () in
-        Sm_obs.set_sink (Sm_obs.Trace_chrome.sink r);
         (r, path))
       trace_path
   in
+  let jsonl_sink = Option.map (fun path -> (Sm_obs.Trace_jsonl.file_sink path, path)) jsonl_path in
+  (match (recorder, jsonl_sink) with
+  | None, None -> ()
+  | Some (r, _), None -> Sm_obs.set_sink (Sm_obs.Trace_chrome.sink r)
+  | None, Some (s, _) -> Sm_obs.set_sink s
+  | Some (r, _), Some (s, _) -> Sm_obs.set_sink (Sm_obs.Sink.tee (Sm_obs.Trace_chrome.sink r) s));
   let finish name =
     write_json name;
+    (* reset_sink flushes and closes the installed sink(s) — in particular
+       the JSONL file — before anything tries to read them back. *)
+    if recorder <> None || jsonl_sink <> None then Sm_obs.reset_sink ();
     Option.iter
       (fun (r, path) ->
         Sm_obs.Trace_chrome.write_file r path;
         Format.printf "@.wrote Chrome trace %s  (load it in chrome://tracing or ui.perfetto.dev)@." path)
       recorder;
+    Option.iter
+      (fun (_, path) ->
+        Format.printf "@.wrote JSONL trace %s  (analyze it with sm-trace)@." path)
+      jsonl_sink;
     if obs then begin
       Format.printf "@.-- metrics --@.";
       Sm_obs.Metrics.dump Format.std_formatter ()

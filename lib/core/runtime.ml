@@ -514,8 +514,12 @@ let handle_id h = h.id
 
 (* --- root ------------------------------------------------------------------ *)
 
+(* Roots draw from the same process-wide counter as children so that task
+   ids stay unique across sequential [run]s — trace consumers (Trace_model)
+   key tasks by id, and a recycled root id would fold separate runs into
+   one task. *)
 let make_root rt =
-  { id = 0
+  { id = Atomic.fetch_and_add next_task_id 1
   ; name = "root"
   ; parent = None
   ; rt

@@ -1,0 +1,177 @@
+module M = Trace_model
+
+type seg_kind =
+  | Compute
+  | Merge_fold
+  | Merge_wait
+  | Sync_wait
+
+let seg_kind_to_string = function
+  | Compute -> "compute"
+  | Merge_fold -> "merge"
+  | Merge_wait -> "merge-wait"
+  | Sync_wait -> "sync-wait"
+
+type segment =
+  { seg_task : string
+  ; seg_task_id : int
+  ; seg_kind : seg_kind
+  ; seg_begin : int
+  ; seg_end : int
+  }
+
+type t =
+  { root : M.task
+  ; segments : segment list  (* chronological; tiles [path start, root end] *)
+  ; total_ns : int
+  ; wall_ns : int
+  }
+
+let seg_ns s = max 0 (s.seg_end - s.seg_begin)
+
+let seg (t : M.task) kind b e =
+  { seg_task = t.M.name; seg_task_id = t.M.id; seg_kind = kind; seg_begin = b; seg_end = e }
+
+(* When did merge record [r]'s child release the parent's wait?  A completed
+   child at its Task_end; a child merged mid-flight at the Sync_begin where
+   it arrived (the sync span containing the fold timestamp). *)
+let release_ts model span_end (r : M.merge_record) =
+  Option.bind r.M.mc_child (fun cid ->
+      Option.bind (M.task model cid) (fun (c : M.task) ->
+          if c.M.ended && c.M.end_ts <= span_end then Some (c, c.M.end_ts)
+          else
+            List.fold_left
+              (fun best (s : M.sync_span) ->
+                if s.M.s_begin <= r.M.mc_ts then
+                  match best with
+                  | Some (_, b) when b >= s.M.s_begin -> best
+                  | _ -> Some (c, s.M.s_begin)
+                else best)
+              None c.M.syncs))
+
+(* Walk backward from horizon [h]: produce segments tiling [reached, h] of
+   task [t]'s wall-clock (prepended to [acc]) and return [reached].  Time
+   inside a merge-family call follows the *binding* child — the one whose
+   release came last — and recurses into that child's timeline; the chain
+   re-enters the parent at the child's own start (its spawn point), so
+   parent work concurrent with the child is correctly skipped.  Without a
+   traced binding child the span stays on the parent as fold work or bare
+   wait. *)
+let rec walk model (t : M.task) h acc =
+  let spans =
+    List.filter (fun (s : M.merge_span) -> s.M.m_begin < h) t.M.merges
+    |> List.sort (fun (a : M.merge_span) b -> compare b.M.m_begin a.M.m_begin)
+  in
+  let rec go cur acc = function
+    | [] ->
+      let floor = min cur t.M.start_ts in
+      if cur > t.M.start_ts then (seg t Compute t.M.start_ts cur :: acc, floor) else (acc, floor)
+    | (span : M.merge_span) :: rest ->
+      if span.M.m_begin >= cur then go cur acc rest
+      else begin
+        let span_end = min span.M.m_end cur in
+        let acc = if span_end < cur then seg t Compute span_end cur :: acc else acc in
+        let binding =
+          List.fold_left
+            (fun best r ->
+              match release_ts model span_end r with
+              | None -> best
+              | Some (c, rel) -> (
+                match best with
+                | Some (_, brel) when brel >= rel -> best
+                | _ -> Some (c, rel)))
+            None (List.rev span.M.m_children)
+        in
+        match binding with
+        | Some (c, rel) when rel > span.M.m_begin && c.M.id <> t.M.id ->
+          let rel = min rel span_end in
+          let acc = if rel < span_end then seg t Merge_fold rel span_end :: acc else acc in
+          let acc, reached = walk model c rel acc in
+          go (min reached span.M.m_begin) acc rest
+        | Some _ | None ->
+          let kind = if span.M.m_children = [] then Merge_wait else Merge_fold in
+          go span.M.m_begin (seg t kind span.M.m_begin span_end :: acc) rest
+      end
+  in
+  go h acc spans
+
+(* A Compute segment lying inside the task's own sync span was in fact
+   blocked waiting for the parent's merge — split those stretches out as
+   Sync_wait so the path doesn't credit wait as work. *)
+let relabel_syncs model segs =
+  let split s =
+    match (s.seg_kind, Option.map (fun (t : M.task) -> t.M.syncs) (M.task model s.seg_task_id)) with
+    | Compute, Some syncs when syncs <> [] ->
+      let rec carve b e =
+        if b >= e then []
+        else
+          let overlapping =
+            List.filter (fun (sp : M.sync_span) -> sp.M.s_end > b && sp.M.s_begin < e) syncs
+            |> List.sort (fun (a : M.sync_span) c -> compare a.M.s_begin c.M.s_begin)
+          in
+          match overlapping with
+          | [] -> [ { s with seg_begin = b; seg_end = e } ]
+          | sp :: _ ->
+            let sb = max b sp.M.s_begin and se = min e sp.M.s_end in
+            (if sb > b then [ { s with seg_begin = b; seg_end = sb } ] else [])
+            @ [ { s with seg_kind = Sync_wait; seg_begin = sb; seg_end = se } ]
+            @ carve se e
+      in
+      carve s.seg_begin s.seg_end
+    | _ -> [ s ]
+  in
+  List.concat_map split segs
+
+let compute ?root model =
+  let root =
+    match root with Some id -> M.task model id | None -> M.main_root model
+  in
+  Option.map
+    (fun (r : M.task) ->
+      let segs, _reached = walk model r r.M.end_ts [] in
+      let segs = relabel_syncs model segs in
+      let segments =
+        List.filter (fun s -> seg_ns s > 0) segs
+        |> List.sort (fun a b -> compare (a.seg_begin, a.seg_end) (b.seg_begin, b.seg_end))
+      in
+      let total_ns = List.fold_left (fun a s -> a + seg_ns s) 0 segments in
+      { root = r; segments; total_ns; wall_ns = M.span_ns r })
+    root
+
+(* --- reporting -------------------------------------------------------------- *)
+
+let by_task cp =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let key = (s.seg_task, s.seg_task_id, s.seg_kind) in
+      Hashtbl.replace tbl key (seg_ns s + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    cp.segments;
+  Hashtbl.fold (fun (task, id, kind) ns acc -> (task, id, kind, ns) :: acc) tbl []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+
+let coverage_pct cp = 100.0 *. float_of_int cp.total_ns /. float_of_int (max 1 cp.wall_ns)
+
+let pp ?(max_segments = 40) ppf cp =
+  let pct ns = 100.0 *. float_of_int ns /. float_of_int (max 1 cp.total_ns) in
+  Format.fprintf ppf "critical path of %s (id %d): %a on-path over a %a span (%.1f%% of wall-clock)@."
+    cp.root.M.name cp.root.M.id M.pp_ms cp.total_ns M.pp_ms cp.wall_ns (coverage_pct cp);
+  let n = List.length cp.segments in
+  Format.fprintf ppf "@.%-6s %-24s %-10s %12s %7s@." "#" "task" "kind" "duration" "share";
+  List.iteri
+    (fun i s ->
+      if i < max_segments then
+        Format.fprintf ppf "%-6d %-24s %-10s %12.3fms %6.1f%%@." i s.seg_task
+          (seg_kind_to_string s.seg_kind)
+          (float_of_int (seg_ns s) /. 1e6)
+          (pct (seg_ns s)))
+    cp.segments;
+  if n > max_segments then Format.fprintf ppf "... (%d more segments)@." (n - max_segments);
+  Format.fprintf ppf "@.aggregated by task and kind:@.";
+  List.iter
+    (fun (task, id, kind, ns) ->
+      Format.fprintf ppf "  %-24s id=%-5d %-10s %12.3fms %6.1f%%@." task id
+        (seg_kind_to_string kind)
+        (float_of_int ns /. 1e6)
+        (pct ns))
+    (by_task cp)

@@ -1,0 +1,52 @@
+(** Critical-path extraction over the spawn/merge DAG of a recorded run.
+
+    Walks backward from a root task's [Task_end]: stretches where the root
+    sat in a merge-family call are attributed to the {e binding} child (the
+    one whose completion — or sync arrival — released the wait last), and
+    the walk recurses into that child's own timeline, re-entering the
+    parent at the child's spawn point.  The result is a connected chain of
+    segments tiling the root's wall-clock span, each labeled with the task
+    and what it was doing — exactly which tasks and merges bound the run.
+
+    Needs a Debug-level trace (merge spans + [Merge_child] accounting); on
+    an Info-level trace the whole span degrades to one compute segment. *)
+
+type seg_kind =
+  | Compute  (** the task's own work *)
+  | Merge_fold  (** OT transform + fold time in the parent's merge *)
+  | Merge_wait  (** blocked in a merge with no traced binding child *)
+  | Sync_wait  (** a child blocked at a sync point awaiting its parent *)
+
+val seg_kind_to_string : seg_kind -> string
+
+type segment =
+  { seg_task : string
+  ; seg_task_id : int
+  ; seg_kind : seg_kind
+  ; seg_begin : int
+  ; seg_end : int
+  }
+
+type t =
+  { root : Trace_model.task
+  ; segments : segment list  (** chronological; tiles the root's span *)
+  ; total_ns : int  (** sum of segment durations *)
+  ; wall_ns : int  (** the root's own span *)
+  }
+
+val seg_ns : segment -> int
+
+val compute : ?root:int -> Trace_model.t -> t option
+(** Critical path ending at [root] (a task id; default
+    {!Trace_model.main_root}).  [None] when the trace has no started root
+    task. *)
+
+val by_task : t -> (string * int * seg_kind * int) list
+(** On-path nanoseconds aggregated per (task, id, kind), largest first —
+    the "what do I optimize" view. *)
+
+val coverage_pct : t -> float
+(** [total_ns] as a percentage of [wall_ns]; ~100 whenever the walk tiled
+    the span (the self-check the CLI prints). *)
+
+val pp : ?max_segments:int -> Format.formatter -> t -> unit

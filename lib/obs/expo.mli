@@ -1,0 +1,39 @@
+(** Prometheus-style text exposition of the {!Metrics} registry, plus an
+    in-process periodic reporter.
+
+    Counters render as `# TYPE sm_<name> counter` samples; histograms as
+    summaries (p50/p90/p95/p99 quantile series, `_sum`, `_count`) computed
+    from their retained samples — under a {!Metrics.set_sample_cap}
+    reservoir these are unbiased estimates of the full window.  Metric
+    names are sanitized to the Prometheus grammar and prefixed [sm_]
+    ([runtime.merge_ns] → [sm_runtime_merge_ns]). *)
+
+val sanitize : string -> string
+
+val render : counters:(string * int) list -> histograms:(string * float list) list -> string
+(** Exposition of explicit data — e.g. trace-derived totals from
+    {!Attribution.metric_view}, which is how [sm-trace expo] renders a
+    recorded run without a live registry. *)
+
+val text : unit -> string
+(** Exposition of the live registry. *)
+
+val write_file : string -> unit
+(** {!text} to a fresh file (a node-exporter-style textfile drop). *)
+
+(** {1 Periodic reporter} *)
+
+type reporter
+
+val start : ?period_s:float -> (string -> unit) -> reporter
+(** Spawn a daemon thread that hands the current exposition to the callback
+    every [period_s] (default 5s) until {!stop}.  Callback exceptions are
+    swallowed; with a {!Metrics.set_sample_cap} bound in place the registry
+    stays O(cap) however long the reporter runs.
+    @raise Invalid_argument on a non-positive period. *)
+
+val stop : reporter -> unit
+(** Signal and join the reporter thread (returns within ~50ms). *)
+
+val stderr_reporter : ?period_s:float -> unit -> reporter
+(** {!start} writing to stderr. *)

@@ -29,13 +29,19 @@ let escape buf s =
   Buffer.add_char buf '"'
 
 (* Floats always print with a '.' or exponent so they parse back as Float,
-   keeping Int/Float distinguishable across a round-trip. *)
+   keeping Int/Float distinguishable across a round-trip.  JSON has no
+   literal for non-finite numbers ("%.17g" would emit nan/inf and corrupt
+   the document): nan becomes null, and the infinities are emitted as the
+   overflowing-but-valid numerals 1e999/-1e999, which float_of_string reads
+   back as the infinities — so they survive a round-trip as Float. *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1e999"
+  else if f = Float.neg_infinity then "-1e999"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else
     let s = Printf.sprintf "%.17g" f in
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s then s
-    else s ^ ".0"
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"

@@ -3,9 +3,12 @@
     without pulling a dependency into the tree.
 
     Printing guarantees [Float]s carry a ['.'] or exponent, so [Int] vs
-    [Float] survives {!to_string}/{!of_string} round-trips.  The parser
-    accepts standard JSON (with [\uXXXX] escapes re-encoded as UTF-8) and
-    rejects trailing garbage. *)
+    [Float] survives {!to_string}/{!of_string} round-trips.  Non-finite
+    floats never corrupt the output: [Float nan] prints as [null], and the
+    infinities print as the overflowing numerals [1e999]/[-1e999] (valid
+    JSON that parses back to [Float infinity]/[Float neg_infinity]).  The
+    parser accepts standard JSON (with [\uXXXX] escapes re-encoded as
+    UTF-8) and rejects trailing garbage. *)
 
 type t =
   | Null

@@ -19,6 +19,11 @@ module Span = Span
 module Json = Json
 module Trace_jsonl = Trace_jsonl
 module Trace_chrome = Trace_chrome
+module Trace_model = Trace_model
+module Trace_diff = Trace_diff
+module Critical_path = Critical_path
+module Attribution = Attribution
+module Expo = Expo
 
 type level = Verbosity.level =
   | Off

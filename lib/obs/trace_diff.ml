@@ -1,0 +1,65 @@
+type divergence =
+  { index : int
+  ; left : Event.t option
+  ; right : Event.t option
+  }
+
+type result =
+  | Equal of int
+  | Diverged of divergence
+
+let equal_result = function Equal _ -> true | Diverged _ -> false
+
+(* Structural comparison only: seq, ts_ns, task_id and the "child_id"
+   argument are allocation/time artifacts that legitimately differ between
+   two runs of the same program (see Event.structure). *)
+let compare_events a b =
+  let rec go i a b =
+    match (a, b) with
+    | [], [] -> Equal i
+    | ea :: _, [] -> Diverged { index = i; left = Some ea; right = None }
+    | [], eb :: _ -> Diverged { index = i; left = None; right = Some eb }
+    | ea :: ra, eb :: rb ->
+      if Event.equal_structure ea eb then go (i + 1) ra rb
+      else Diverged { index = i; left = Some ea; right = Some eb }
+  in
+  go 0 a b
+
+(* Streaming pairwise walk over two files: constant memory, stops at the
+   first divergence. *)
+let compare_files path_a path_b =
+  let ic_a = open_in path_a and ic_b = open_in path_b in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in_noerr ic_a;
+      close_in_noerr ic_b)
+    (fun () ->
+      let next ic =
+        let rec go () =
+          match input_line ic with
+          | line -> if String.trim line = "" then go () else Some (Trace_jsonl.event_of_line line)
+          | exception End_of_file -> None
+        in
+        go ()
+      in
+      let rec walk i =
+        match (next ic_a, next ic_b) with
+        | None, None -> Equal i
+        | (Some _ as l), None -> Diverged { index = i; left = l; right = None }
+        | None, (Some _ as r) -> Diverged { index = i; left = None; right = r }
+        | (Some ea as l), (Some eb as r) ->
+          if Event.equal_structure ea eb then walk (i + 1)
+          else Diverged { index = i; left = l; right = r }
+      in
+      walk 0)
+
+let pp_side ppf = function
+  | Some e -> Event.pp ppf e
+  | None -> Format.pp_print_string ppf "<trace ended>"
+
+let pp_result ppf = function
+  | Equal n -> Format.fprintf ppf "traces are structurally identical (%d events)" n
+  | Diverged d ->
+    Format.fprintf ppf
+      "@[<v>traces diverge at event %d:@;<1 2>left:  %a@;<1 2>right: %a@]" d.index pp_side
+      d.left pp_side d.right

@@ -1,0 +1,30 @@
+(** Determinism regression checking: structural diff of two traces.
+
+    Two runs of a deterministic Spawn/Merge program must emit the same
+    event {e structure} ({!Event.structure}: everything except [seq],
+    [ts_ns], [task_id] and the ["child_id"] argument).  Instead of the bare
+    bool the trace-determinism test computes, this module names the first
+    diverging event — the actionable artifact when a scheduler change
+    breaks determinism. *)
+
+type divergence =
+  { index : int  (** position of the first structural mismatch *)
+  ; left : Event.t option  (** [None]: the left trace ended early *)
+  ; right : Event.t option
+  }
+
+type result =
+  | Equal of int  (** both traces: this many events, structurally equal *)
+  | Diverged of divergence
+
+val equal_result : result -> bool
+
+val compare_events : Event.t list -> Event.t list -> result
+(** Pairwise structural comparison in list order. *)
+
+val compare_files : string -> string -> result
+(** Streaming comparison of two JSONL traces — constant memory, stops at
+    the first divergence.
+    @raise Trace_jsonl.Decode_error on a malformed line in either file. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -11,8 +11,10 @@ let arg_of_json = function
   | Json.Float f -> Event.F f
   | Json.String s -> Event.S s
   | Json.Bool b -> Event.B b
-  | Json.Null | Json.List _ | Json.Obj _ ->
-    raise (Decode_error "Trace_jsonl: argument is not a scalar")
+  (* Json prints [Float nan] as [null] (no JSON literal exists for it), so
+     [null] decodes back to an nan-valued float argument. *)
+  | Json.Null -> Event.F Float.nan
+  | Json.List _ | Json.Obj _ -> raise (Decode_error "Trace_jsonl: argument is not a scalar")
 
 let event_to_json (e : Event.t) =
   Json.Obj
@@ -77,14 +79,17 @@ let file_sink path =
       close_out oc)
     inner.Sink.emit
 
-let events_of_channel ic =
+let fold_channel ic ~init ~f =
   let rec go acc =
     match input_line ic with
-    | line -> go (if String.trim line = "" then acc else event_of_line line :: acc)
-    | exception End_of_file -> List.rev acc
+    | line -> go (if String.trim line = "" then acc else f acc (event_of_line line))
+    | exception End_of_file -> acc
   in
-  go []
+  go init
 
-let load path =
+let fold path ~init ~f =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> events_of_channel ic)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> fold_channel ic ~init ~f)
+
+let events_of_channel ic = List.rev (fold_channel ic ~init:[] ~f:(fun acc e -> e :: acc))
+let load path = List.rev (fold path ~init:[] ~f:(fun acc e -> e :: acc))

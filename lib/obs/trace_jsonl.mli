@@ -8,7 +8,9 @@ exception Decode_error of string
 val arg_to_json : Event.arg -> Json.t
 
 val arg_of_json : Json.t -> Event.arg
-(** @raise Decode_error on non-scalar JSON. *)
+(** [Null] decodes as [F nan] (the printer's image of a nan float — see
+    {!Json}).
+    @raise Decode_error on list/object JSON. *)
 
 val event_to_json : Event.t -> Json.t
 val event_of_json : Json.t -> Event.t
@@ -26,6 +28,16 @@ val file_sink : string -> Sink.t
 (** {!sink} on a fresh file; closing the sink closes the file. *)
 
 val events_of_channel : in_channel -> Event.t list
+
+val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** Stream a JSONL trace file through [f] one event at a time, skipping
+    blank lines — constant memory in the trace length, so analysis passes
+    ({!Trace_model.of_file}, the [sm-trace] CLI) never materialize the
+    event list the way {!load} does.
+    @raise Decode_error on malformed lines. *)
+
+val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** {!fold} over an already-open channel (reads to [End_of_file]). *)
 
 val load : string -> Event.t list
 (** Read a JSONL trace file back, skipping blank lines.

@@ -32,6 +32,10 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
   v.data.(i)
 
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
 let slice v ~from =
   if from < 0 || from > v.len then invalid_arg "Vec.slice: bad bound";
   let rec collect i acc = if i < from then acc else collect (i - 1) (v.data.(i) :: acc) in

@@ -16,6 +16,10 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument on out-of-bounds access. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Replace an existing element in place.
+    @raise Invalid_argument on out-of-bounds access. *)
+
 val to_list : 'a t -> 'a list
 
 val of_list : 'a list -> 'a t
