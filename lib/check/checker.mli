@@ -1,0 +1,59 @@
+(** The OT property engine: bounded-exhaustive verification of one operation
+    module's transform matrix, with minimized counterexamples.
+
+    Four properties, per {!Report.property}:
+
+    - {b TP1} — pairwise convergence under both tie winners, the correctness
+      condition for OT with a linear history (exactly the Spawn/Merge
+      setting; TP2 is out of scope, see {!Sm_ot.Convergence}).
+    - {b cross-convergence} — {!Sm_ot.Control.Make.cross} on concurrent
+      {e sequences}, under the runtime's serialization policy and its flip.
+    - {b merge-order} — two concurrent children merged through the real
+      {!Sm_mergeable.Workspace} agree with the pure control algorithm and
+      digest identically on recomputation.
+    - {b merge-nested} — a parent/child/grandchild tree merged stepwise
+      through the workspace equals the flattened control merge, pinning the
+      version/base bookkeeping.
+
+    Transform/apply totality rides along: any exception in any enumerated
+    case is itself a counterexample (reported with the raising property and
+    the exception).
+
+    Every violation is shrunk greedily ({!Shrink}) before being reported:
+    single operations are dropped and replaced by {!Enum.S.shrink_op}
+    candidates while the violation persists. *)
+
+module Make (E : Enum.S) : sig
+  type cex =
+    { property : Report.property
+    ; state : E.state
+    ; applied : E.op list  (** parent's own concurrent ops (merge properties) *)
+    ; left : E.op list
+    ; right : E.op list
+    ; nested : E.op list  (** grandchild log (merge-nested) *)
+    ; a_wins : bool  (** TP1 tie winner *)
+    ; tie : Sm_ot.Side.policy  (** cross tie policy *)
+    ; exn : string option  (** totality violation: the rendered exception *)
+    ; shrink_steps : int
+    }
+
+  val check :
+    ?skip:Report.property list -> depth:int -> unit -> (Report.counts, Report.counts * cex) result
+  (** Run every property not in [skip] at [depth]; [Ok] with the case
+      counts, or [Error] with the counts reached and the first violation,
+      minimized.  Enumeration visits states smallest-first, so the raw
+      counterexample is already near the smallest failing state.  [skip] is
+      how the registry keeps checking the remaining properties of a module
+      with a documented expected failure. *)
+
+  val holds : cex -> bool
+  (** Re-evaluate the counterexample's property on its scenario: [false]
+      means it still fails — what shrinking must preserve, and what the
+      shrinker self-tests assert. *)
+
+  val minimize : cex -> cex
+  val render : cex -> Report.counterexample
+
+  val report : ?skip:Report.property list -> depth:int -> unit -> Report.t
+  (** {!check} wrapped for the registry/CLI ([expected] left unset). *)
+end

@@ -1,0 +1,35 @@
+(** Bounded enumeration of an OT operation module — the raw material of the
+    property engine.
+
+    An {!S} extends {!Sm_ot.Op_sig.S} with everything {!Checker.Make} needs
+    to verify the transform matrix exhaustively at a size budget and to
+    minimize what it finds: state and operation enumerators, and an
+    op shrinker.  Instances for the repo's nine operation modules live in
+    {!Instances}; user-defined mergeable types plug in the same way. *)
+
+module type S = sig
+  include Sm_ot.Op_sig.S
+
+  val name : string
+  (** Registry name, conventionally the [lib/mergeable] wrapper's
+      ("mcounter", "mtext", ...). *)
+
+  val states : depth:int -> state list
+  (** Enumerated start states, smallest first.  [depth] scales the size
+      budget (container sizes up to [depth + 1], roughly); [depth = 0] must
+      still return at least one state.  The checker reports the {e first}
+      failing state, so ordering small-to-large is what keeps raw
+      counterexamples readable before shrinking even starts. *)
+
+  val ops : state -> op list
+  (** Every interesting operation {e valid on} [state] — all positions, all
+      conflict classes, at least two distinct inserted values so value ties
+      are exercised.  [apply state op] must not raise for any returned op. *)
+
+  val shrink_op : op -> op list
+  (** Strictly smaller candidate replacements (shorter payload, lower
+      position); [[]] when the op is atomic.  Must be well-founded —
+      iterating [shrink_op] from any op terminates — because the shrinker
+      chases candidates greedily.  Candidates may be invalid on a given
+      state; the checker discards those. *)
+end

@@ -1,0 +1,43 @@
+type kind =
+  | Tie_bias
+  | Identity
+  | Drop_last
+  | Reverse
+
+let all = [ Tie_bias; Identity; Drop_last; Reverse ]
+
+let to_string = function
+  | Tie_bias -> "tie-bias"
+  | Identity -> "identity"
+  | Drop_last -> "drop-last"
+  | Reverse -> "reverse"
+
+let of_string = function
+  | "tie-bias" -> Some Tie_bias
+  | "identity" -> Some Identity
+  | "drop-last" -> Some Drop_last
+  | "reverse" -> Some Reverse
+  | _ -> None
+
+let describe = function
+  | Tie_bias ->
+    "resolve every tie for the incoming op, ignoring the policy (both transform directions then \
+     think they won — the classic published-transform bug)"
+  | Identity -> "never rewrite the incoming op (skip index shifting entirely)"
+  | Drop_last -> "silently drop the last op of every transform result"
+  | Reverse -> "reverse multi-op transform results (split deletes land out of order)"
+
+let wrap kind (module E : Enum.S) : (module Enum.S) =
+  (module struct
+    include E
+
+    let name = E.name ^ "+" ^ to_string kind
+
+    let transform a ~against ~tie =
+      match kind with
+      | Tie_bias -> E.transform a ~against ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming)
+      | Identity -> [ a ]
+      | Drop_last -> (
+        match List.rev (E.transform a ~against ~tie) with [] -> [] | _ :: tl -> List.rev tl)
+      | Reverse -> List.rev (E.transform a ~against ~tie)
+  end)

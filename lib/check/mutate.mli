@@ -1,0 +1,23 @@
+(** Seeded transform mutations — deliberate bugs injected into an operation
+    module's [transform] so the checker (and its tests, and CI) can prove it
+    actually catches violations and minimizes them.  All mutations are
+    generic wrappers: they need no knowledge of the op type.
+
+    A mutation is not guaranteed to produce a violation on every module
+    ({!Tie_bias} is harmless on tie-free types like the counter); callers
+    report "mutation survived" in that case. *)
+
+type kind =
+  | Tie_bias  (** every tie resolved for the incoming side, policy ignored *)
+  | Identity  (** transform never rewrites — no index shifting *)
+  | Drop_last  (** last op of every transform result dropped *)
+  | Reverse  (** multi-op results reversed *)
+
+val all : kind list
+val to_string : kind -> string
+val of_string : string -> kind option
+val describe : kind -> string
+
+val wrap : kind -> (module Enum.S) -> (module Enum.S)
+(** The same enumeration instance with the mutated [transform] and
+    ["name+mutation"] as its name. *)

@@ -1,0 +1,96 @@
+type known_issue =
+  { id : string
+  ; property : Report.property
+  ; reason : string
+  }
+
+type entry =
+  { enum : (module Enum.S)
+  ; known : known_issue list
+  }
+
+let name e =
+  let module E = (val e.enum : Enum.S) in
+  E.name
+
+(* Triage outcome (ISSUE 3, satellite 1): running the checker over the full
+   matrix at depth 2 — TP1 both winners, cross under both serialization
+   ties, workspace merge order and nested merges — found exactly one
+   divergence: [Op_queue]'s transform is the identity, so two concurrent
+   [Push]es land in whichever order the local side applied them (minimal
+   counterexample: state <>, left [push 7], right [push 8]).  That is the
+   module's documented intention — op_queue.mli defines the relative order
+   of concurrent pushes to be the deterministic merge serialization order,
+   which only ever transforms in one fixed direction and therefore still
+   converges (mqueue's merge-order and nested-merge checks pass).  Encoded
+   below as the expected issue "queue-push-order" for both pairwise
+   properties; test_ot_exhaustive.ml pins the counterexample as a
+   regression test.  The other eight modules are violation-free. *)
+let queue_push_order =
+  let reason =
+    "concurrent pushes are ordered by the deterministic merge serialization, not by pairwise \
+     transform (Op_queue's documented intention); serialization itself converges"
+  in
+  [ { id = "queue-push-order"; property = Report.Tp1; reason }
+  ; { id = "queue-push-order"; property = Report.Cross; reason }
+  ]
+
+let entries : entry list ref =
+  ref
+    (List.map
+       (fun enum ->
+         let module E = (val enum : Enum.S) in
+         let known = if String.equal E.name "mqueue" then queue_push_order else [] in
+         { enum; known })
+       Instances.all)
+
+let register ?(known = []) enum = entries := !entries @ [ { enum; known } ]
+
+let all () = !entries
+let names () = List.map name (all ())
+
+let find want =
+  (* Accept "mtext", "text", or "Op_text"-ish spellings. *)
+  let norm s =
+    let s = String.lowercase_ascii s in
+    let s = if String.length s > 3 && String.sub s 0 3 = "op_" then String.sub s 3 (String.length s - 3) else s in
+    if String.length s > 1 && s.[0] = 'm' then String.sub s 1 (String.length s - 1) else s
+  in
+  List.find_opt (fun e -> String.equal (norm (name e)) (norm want)) (all ())
+
+let match_known e (property : Report.property) =
+  List.find_opt (fun k -> k.property = property) e.known
+
+let run ?mutation ~depth e =
+  let enum = match mutation with None -> e.enum | Some m -> Mutate.wrap m e.enum in
+  let module E = (val enum : Enum.S) in
+  let module C = Checker.Make (E) in
+  match mutation with
+  (* A mutated transform failing is the desired outcome, never "expected":
+     only the pristine matrix consults the known-issue list. *)
+  | Some _ -> C.report ~depth ()
+  | None ->
+    (* A failure matching a known issue becomes the expected counterexample
+       and its property is skipped on a re-run, so the module's remaining
+       properties still get their full enumeration (e.g. mqueue's merge
+       checks keep running behind its expected TP1 divergence). *)
+    let rec go skip expected =
+      match C.check ~skip ~depth () with
+      | Ok counts -> (
+        match expected with
+        | None -> { Report.name = E.name; depth; counts; verdict = Pass; expected = None }
+        | Some (cex, k) ->
+          { Report.name = E.name
+          ; depth
+          ; counts
+          ; verdict = Fail (C.render cex)
+          ; expected = Some (Printf.sprintf "%s: %s" k.id k.reason)
+          })
+      | Error (counts, cex) -> (
+        match match_known e cex.property with
+        | Some k when not (List.mem cex.property skip) ->
+          go (cex.property :: skip) (match expected with None -> Some (cex, k) | some -> some)
+        | _ ->
+          { Report.name = E.name; depth; counts; verdict = Fail (C.render cex); expected = None })
+    in
+    go [] None

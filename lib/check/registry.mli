@@ -1,0 +1,32 @@
+(** First-class registry of checkable operation modules — what gives
+    [sm-check ot --all] and [--type NAME] something to iterate, and where a
+    deliberate, paper-faithful divergence would be documented as an expected
+    failure instead of breaking the gate. *)
+
+type known_issue =
+  { id : string  (** short stable tag, e.g. ["stack-top-order"] *)
+  ; property : Report.property  (** which check it is allowed to fail *)
+  ; reason : string  (** why the behavior is intended, one line *)
+  }
+
+type entry
+
+val name : entry -> string
+
+val register : ?known:known_issue list -> (module Enum.S) -> unit
+(** Append a user-defined mergeable type to the registry (the paper's
+    extension point, checkable like the built-ins). *)
+
+val all : unit -> entry list
+(** The nine built-in modules (registration order) plus anything
+    {!register}ed. *)
+
+val names : unit -> string list
+
+val find : string -> entry option
+(** Lenient lookup: ["mtext"], ["text"] and ["Op_text"] all resolve. *)
+
+val run : ?mutation:Mutate.kind -> depth:int -> entry -> Report.t
+(** Check one entry.  A failure matching a {!known_issue} comes back with
+    [expected] set (so {!Report.passed} holds); mutated runs never consult
+    the known-issue list. *)

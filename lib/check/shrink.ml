@@ -1,0 +1,50 @@
+(* Greedy scenario minimization.  A scenario is a list of operation
+   sequences (parent ops, left child, right child, grandchild); [fails]
+   decides whether a candidate still exhibits the violation.  Two moves:
+   drop one element anywhere, or replace one element by a [shrink_elt]
+   candidate.  First-improvement hill climbing to a fixpoint — not optimal,
+   but counterexamples here start small (bounded enumeration) and the point
+   is a 2-op report instead of a 2-sequence wall of ops. *)
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+(* Every scenario obtained by dropping a single element from a single
+   sequence. *)
+let drops scenario =
+  List.concat
+    (List.mapi
+       (fun si seq -> List.mapi (fun oi _ -> replace_nth scenario si (drop_nth seq oi)) seq)
+       scenario)
+
+(* Every scenario obtained by replacing a single element with one of its
+   shrink candidates. *)
+let replacements ~shrink_elt scenario =
+  List.concat
+    (List.mapi
+       (fun si seq ->
+         List.concat
+           (List.mapi
+              (fun oi op ->
+                List.map (fun op' -> replace_nth scenario si (replace_nth seq oi op')) (shrink_elt op))
+              seq))
+       scenario)
+
+let minimize ?(max_steps = 500) ~fails ~shrink_elt scenario =
+  let steps = ref 0 in
+  let rec go scenario =
+    if !steps >= max_steps then scenario
+    else begin
+      (* Drops first: removing an op is a bigger win than shrinking one, and
+         drops strictly reduce size so they cannot cycle. *)
+      let candidates = drops scenario @ replacements ~shrink_elt scenario in
+      match List.find_opt fails candidates with
+      | Some smaller ->
+        incr steps;
+        go smaller
+      | None -> scenario
+    end
+  in
+  let result = go scenario in
+  (result, !steps)

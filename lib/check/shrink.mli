@@ -1,0 +1,17 @@
+(** Greedy counterexample minimization over scenarios (lists of operation
+    sequences). *)
+
+val minimize :
+  ?max_steps:int ->
+  fails:('a list list -> bool) ->
+  shrink_elt:('a -> 'a list) ->
+  'a list list ->
+  'a list list * int
+(** [minimize ~fails ~shrink_elt scenario] hill-climbs to a smaller scenario
+    on which [fails] still holds, by dropping single operations and by
+    replacing single operations with [shrink_elt] candidates; returns the
+    fixpoint and the number of accepted shrink steps.  [fails] must return
+    [false] (not raise) on candidates it considers invalid.  [shrink_elt]
+    must be well-founded; [max_steps] (default 500) is the backstop if it is
+    not.  [scenario] itself is expected to fail — the result is only
+    meaningful under that contract. *)

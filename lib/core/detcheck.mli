@@ -12,6 +12,10 @@
     re-minting keys per run changes key identities and makes digests
     incomparable. *)
 
+exception Timeout of string
+(** Raised by {!cross_scheduler} when [?timeout_s] expires; the payload is a
+    diagnostic naming the likely cause. *)
+
 val digest_of_run : ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> string
 (** Run the program, merge all remaining children, digest the root
     workspace. *)
@@ -22,10 +26,26 @@ val digests : ?runs:int -> ?domains:int -> ?executor:Executor.t -> (Runtime.ctx 
 val deterministic : ?runs:int -> ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> bool
 (** All digests equal. *)
 
-val cross_scheduler : ?runs:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> bool
+type divergence =
+  { run_index : int  (** first run whose digest differs from run 0's *)
+  ; digest : string
+  ; reference : string  (** run 0's digest *)
+  }
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val deterministic_explained :
+  ?runs:int -> ?domains:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> (unit, divergence) result
+(** {!deterministic}, but a failure names the first diverging run instead of
+    collapsing to [false] — the starting point for a hazard hunt with
+    [Sm_check.Detsan], which explains {e why} a program can diverge. *)
+
+val cross_scheduler : ?timeout_s:float -> ?runs:int -> ?executor:Executor.t -> (Runtime.ctx -> unit) -> bool
 (** The strongest oracle: the program must digest identically across
     repeated {e threaded} runs {b and} match the {e cooperative} scheduler's
     digest — determinism independent of scheduling technology, the paper's
     "regardless of the number of cores" taken to its limit.  The program
     must not block the OS thread (no [Thread.delay]) or it will stall the
-    cooperative runs. *)
+    cooperative runs; pass [timeout_s] to turn that stall into a
+    {!Timeout} with a diagnostic (the stuck worker thread is abandoned, not
+    killed — threads are not cancellable). *)

@@ -62,6 +62,23 @@ end
 
 exception Not_a_child of string
 
+(* Determinism-sanitizer observation points, gated exactly like the Sm_obs
+   emits above: one load + branch per site while nothing is installed.  The
+   listener (Sm_check.Detsan) turns these into hazard reports; the runtime
+   itself attaches no policy. *)
+module Sanitizer_hook = struct
+  type event =
+    | Nondet_merge of { task : string; prim : string }
+    | Task_started of { task : string }
+    | Task_finished of { task : string; unmerged : string list }
+
+  let hook : (event -> unit) option ref = ref None
+  let install f = hook := Some f
+  let uninstall () = hook := None
+  let emit ev = match !hook with None -> () | Some f -> f ev
+  let active () = !hook <> None
+end
+
 (* The scheduler a runtime instance runs on.  The threaded instantiation
    maps these to an Executor plus one Mutex/Condition pair; the cooperative
    instantiation (module Coop below) to an effects-based run queue with
@@ -130,6 +147,8 @@ let make_child ?(obs_kind = E.Spawn) parent ~ws ~base =
   parent.children <- parent.children @ [ child ];
   parent.rt.sched.broadcast ();
   Log.debug (fun m -> m "spawn %s (child of %s)" child.name parent.name);
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit (Sanitizer_hook.Task_started { task = child.name });
   if Obs.on Obs.Info then begin
     Obs.emit
       (E.make ~task:parent.name ~task_id:parent.id
@@ -321,6 +340,9 @@ let merge_all_from_set ?(validate = default_validate) ctx handles =
           truncate_locked ctx))
 
 let merge_any_from_set ?(validate = default_validate) ctx handles =
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit
+      (Sanitizer_hook.Nondet_merge { task = ctx.name; prim = "merge_any_from_set" });
   instrumented_merge ctx "merge_any_from_set" @@ fun () ->
   with_lock ctx.rt (fun () ->
       List.iter (check_child ctx) handles;
@@ -349,6 +371,8 @@ let merge_any_from_set ?(validate = default_validate) ctx handles =
         wait ())
 
 let merge_any ?(validate = default_validate) ctx =
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit (Sanitizer_hook.Nondet_merge { task = ctx.name; prim = "merge_any" });
   instrumented_merge ctx "merge_any" @@ fun () ->
   with_lock ctx.rt (fun () ->
       match replayed_choice ctx with
@@ -452,11 +476,26 @@ let finalize ctx outcome =
         ctx.state <- Failed);
       ctx.rt.sched.broadcast ())
 
+(* Sanitizer edge: the body just returned; children still attached at this
+   point are merged only by the *implicit* MergeAll — legal, but a hazard for
+   programs that are audited for determinism (the merge point is no longer
+   visible in the code). *)
+let sanitize_body_end ctx =
+  if Sanitizer_hook.active () then begin
+    let unmerged = with_lock ctx.rt (fun () -> List.map (fun c -> c.name) ctx.children) in
+    Sanitizer_hook.emit (Sanitizer_hook.Task_finished { task = ctx.name; unmerged })
+  end
+
 let run_task child body =
   let outcome =
     match body child with
-    | () -> ( match merge_until_no_children child with () -> Ok () | exception e -> Error e)
-    | exception e -> Error e
+    | () ->
+      sanitize_body_end child;
+      (match merge_until_no_children child with () -> Ok () | exception e -> Error e)
+    | exception e ->
+      if Sanitizer_hook.active () then
+        Sanitizer_hook.emit (Sanitizer_hook.Task_finished { task = child.name; unmerged = [] });
+      Error e
   in
   finalize child outcome
 
@@ -537,10 +576,17 @@ let make_root rt =
    outcome reified so schedulers decide where to re-raise. *)
 let run_root root body =
   if Obs.on Obs.Info then Obs.emit (E.make ~task:root.name ~task_id:root.id E.Task_start);
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit (Sanitizer_hook.Task_started { task = root.name });
   let result =
     match body root with
-    | v -> ( match merge_until_no_children root with () -> Ok v | exception e -> Error e)
-    | exception e -> Error e
+    | v ->
+      sanitize_body_end root;
+      (match merge_until_no_children root with () -> Ok v | exception e -> Error e)
+    | exception e ->
+      if Sanitizer_hook.active () then
+        Sanitizer_hook.emit (Sanitizer_hook.Task_finished { task = root.name; unmerged = [] });
+      Error e
   in
   (match result with Ok _ -> () | Error _ -> ( try drain_discarding root with _ -> ()));
   if Obs.on Obs.Info then

@@ -3,6 +3,23 @@ module Imap = Map.Make (Int)
 exception Unbound_key of string
 exception Already_bound of string
 
+(* Sanitizer hooks, same discipline as Sm_obs gating: a single load + branch
+   per site when nothing is installed.  The determinism sanitizer
+   (Sm_check.Detsan) listens here to see key minting, updates and digests
+   without the workspace depending on anything above it. *)
+module Sanitizer_hook = struct
+  type event =
+    | Key_created of { key : string }
+    | Updated of { ws_id : int; key : string }
+    | Digested of { ws_id : int }
+
+  let hook : (event -> unit) option ref = ref None
+  let install f = hook := Some f
+  let uninstall () = hook := None
+  let emit ev = match !hook with None -> () | Some f -> f ev
+  let active () = !hook <> None
+end
+
 (* A cell holds one mergeable value: its current (persistent) state plus the
    journal of operations applied since the cell was created or last rebased.
    [offset] counts journal entries dropped by [truncate]; the cell's version
@@ -25,15 +42,20 @@ type ('s, 'o) key =
 
 type packed = P : ('s, 'o) key * ('s, 'o) cell -> packed
 
-type t = { mutable cells : packed Imap.t }
+type t =
+  { uid : int  (** process-unique, for sanitizer provenance only *)
+  ; mutable cells : packed Imap.t
+  }
 
 let next_key_id = Atomic.make 0
+let next_ws_uid = Atomic.make 0
 
 let create_key (type s o) (module D : Data.S with type state = s and type op = o) ~name :
     (s, o) key =
   let module M = struct
     type boxed += B of (s, o) cell
   end in
+  if Sanitizer_hook.active () then Sanitizer_hook.emit (Sanitizer_hook.Key_created { key = name });
   { id = Atomic.fetch_and_add next_key_id 1
   ; name
   ; data = (module D)
@@ -57,7 +79,9 @@ module Versions = struct
       (Imap.bindings t)
 end
 
-let create () = { cells = Imap.empty }
+let create () = { uid = Atomic.fetch_and_add next_ws_uid 1; cells = Imap.empty }
+
+let ws_uid t = t.uid
 
 let find_cell (type s o) (t : t) (k : (s, o) key) : (s, o) cell option =
   match Imap.find_opt k.id t.cells with
@@ -82,7 +106,9 @@ let update (type s o) t (k : (s, o) key) (op : o) =
   let module D = (val k.data) in
   let cell = get_cell t k in
   cell.state <- D.apply cell.state op;
-  Sm_util.Vec.push cell.journal op
+  Sm_util.Vec.push cell.journal op;
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit (Sanitizer_hook.Updated { ws_id = t.uid; key = k.name })
 
 let cell_version c = c.offset + Sm_util.Vec.length c.journal
 let version_of t k = cell_version (get_cell t k)
@@ -99,10 +125,11 @@ let op_count t =
 
 let fresh_copy (P (k, c)) = P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = 0 })
 
-let copy t = { cells = Imap.map fresh_copy t.cells }
+let copy t = { uid = Atomic.fetch_and_add next_ws_uid 1; cells = Imap.map fresh_copy t.cells }
 
 let clone_full t =
-  { cells =
+  { uid = Atomic.fetch_and_add next_ws_uid 1
+  ; cells =
       Imap.map
         (fun (P (k, c)) ->
           P (k, { state = c.state; journal = Sm_util.Vec.copy c.journal; offset = c.offset }))
@@ -186,6 +213,7 @@ let truncate_to_min t ~bases =
   truncate t ~keep
 
 let digest t =
+  if Sanitizer_hook.active () then Sanitizer_hook.emit (Sanitizer_hook.Digested { ws_id = t.uid });
   let h =
     Imap.fold
       (fun id (P (k, c)) acc ->

@@ -148,6 +148,29 @@ val digest : t -> string
     a deterministic program must produce equal digests — the determinism
     oracle's observable. *)
 
+val ws_uid : t -> int
+(** Process-unique workspace identity (survives {!adopt}); what
+    {!Sanitizer_hook} events carry as [ws_id].  Diagnostic only — not stable
+    across runs. *)
+
+(** Observation points for the determinism sanitizer ({!Sm_check.Detsan}).
+    Mirrors the {!Sm_obs} gating discipline: when nothing is installed each
+    site costs one load and branch.  At most one listener at a time; the
+    workspace itself attaches no meaning to the events. *)
+module Sanitizer_hook : sig
+  type event =
+    | Key_created of { key : string }
+        (** {!create_key} minted a key (hazardous mid-run, see {!Detcheck}) *)
+    | Updated of { ws_id : int; key : string }  (** {!update} journalled an operation *)
+    | Digested of { ws_id : int }  (** {!digest} observed this workspace *)
+
+  val install : (event -> unit) -> unit
+  val uninstall : unit -> unit
+
+  val active : unit -> bool
+  (** A listener is installed (e.g. asserting hook hygiene in tests). *)
+end
+
 val equal : t -> t -> bool
 (** Same keys bound, and all states equal per their [Data.S.equal_state]. *)
 

@@ -12,7 +12,12 @@ module Make (Elt : Op_sig.ELT) = struct
     | Push x -> s @ [ x ]
     | Pop -> ( match s with [] -> [] | _ :: rest -> rest)
 
-  (* Pushes append, pops consume a slot: every pair commutes by intention. *)
+  (* Pops consume a slot, so they transform to themselves against anything.
+     Concurrent pushes do NOT pairwise-commute — each side would append the
+     incoming push after its own — but their order is defined to be the
+     deterministic merge serialization order (see the .mli), which only ever
+     transforms in one direction.  lib/check registers the resulting TP1 /
+     cross divergence as the expected issue "queue-push-order". *)
   let transform a ~against:_ ~tie:_ = [ a ]
 
   let equal_state = List.equal Elt.equal

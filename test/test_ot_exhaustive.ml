@@ -1,161 +1,106 @@
-(* Exhaustive small-case OT verification: enumerate *every* pair of
-   operations over small states and check TP1 under both tie winners, plus
-   every pair of two-operation sequences through the control algorithm.
-   Random testing samples this space; here the whole space (tens of
-   thousands of cases) is covered, so a transform-matrix regression cannot
-   hide. *)
+(* Exhaustive small-case OT verification, driven by lib/check.  The
+   registry runs each op module through the property engine — TP1 under
+   both tie winners, every 1x1- and 1x2-op sequence pair through the
+   control algorithm, and the workspace merge invariants — over the same
+   small-state spaces the historical hand-rolled enumerations here covered.
+   The count thresholds are the historical ones: they assert the enumerated
+   space did not silently shrink below what the old per-type loops checked,
+   on top of the verdicts themselves. *)
 
 open Test_support
+module Check = Sm_check
 
-module L = Sm_ot.Op_list.Make (Str_elt)
-module Conv_l = Sm_ot.Convergence.Make (L)
-module T = Sm_ot.Op_text
-module Conv_t = Sm_ot.Convergence.Make (T)
-module Stack = Sm_ot.Op_stack.Make (Int_elt)
-module Conv_s = Sm_ot.Convergence.Make (Stack)
-module Tree = Sm_ot.Op_tree.Make (Str_elt)
-module Conv_tree = Sm_ot.Convergence.Make (Tree)
+let report =
+  (* one checker run per module, shared across test cases *)
+  let cache : (string, Check.Report.t) Hashtbl.t = Hashtbl.create 16 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some r -> r
+    | None ->
+      let e =
+        match Check.Registry.find name with
+        | Some e -> e
+        | None -> Alcotest.failf "%s not in the check registry" name
+      in
+      let r = Check.Registry.run ~depth:2 e in
+      Hashtbl.add cache name r;
+      r
 
-let count = ref 0
-
-let check_tp1_all ~pp_op tp1 states ops_of =
-  List.iter
-    (fun state ->
-      let ops = ops_of state in
-      List.iter
-        (fun a ->
-          List.iter
-            (fun b ->
-              List.iter
-                (fun a_wins ->
-                  incr count;
-                  if not (tp1 ~state ~a ~b ~a_wins) then
-                    Alcotest.failf "TP1 violated: a=%s b=%s a_wins=%b"
-                      (Format.asprintf "%a" pp_op a)
-                      (Format.asprintf "%a" pp_op b)
-                      a_wins)
-                [ true; false ])
-            ops)
-        ops)
-    states
+let passing name =
+  let r = report name in
+  if not (Check.Report.passed r) then Alcotest.failf "%s" (Format.asprintf "%a" Check.Report.pp r);
+  r
 
 (* --- lists ---------------------------------------------------------------- *)
 
-let list_states = List.init 4 (fun n -> List.init n string_of_int)
-
-let list_ops state =
-  let n = List.length state in
-  List.concat
-    [ List.concat_map (fun i -> [ L.ins i "x"; L.ins i "y" ]) (List.init (n + 1) Fun.id)
-    ; List.map L.del (List.init n Fun.id)
-    ; List.map (fun i -> L.set i "z") (List.init n Fun.id)
-    ]
-
 let list_pairs () =
-  count := 0;
-  check_tp1_all ~pp_op:L.pp_op (fun ~state ~a ~b ~a_wins -> Conv_l.tp1 ~state ~a ~b ~a_wins)
-    list_states list_ops;
-  check_bool "covered a real space" (!count > 500)
+  let r = passing "mlist" in
+  check_bool "covered a real space" (r.counts.tp1 > 500)
 
-(* every pair of 2-op sequences on a fixed small state, through cross *)
 let list_sequence_pairs () =
-  let state = [ "0"; "1" ] in
-  let ops1 = list_ops state in
-  let seqs =
-    List.concat_map
-      (fun a ->
-        let mid = L.apply state a in
-        List.map (fun b -> [ a; b ]) (list_ops mid))
-      ops1
-  in
-  let checked = ref 0 in
-  List.iter
-    (fun left ->
-      List.iter
-        (fun right ->
-          List.iter
-            (fun tie ->
-              incr checked;
-              if not (Conv_l.seqs_converge ~state ~left ~right ~tie) then
-                Alcotest.failf "sequence divergence: left=[%s] right=[%s]"
-                  (String.concat "; " (List.map (Format.asprintf "%a" L.pp_op) left))
-                  (String.concat "; " (List.map (Format.asprintf "%a" L.pp_op) right)))
-            [ Sm_ot.Side.serialization; Sm_ot.Side.flip Sm_ot.Side.serialization ])
-        seqs)
-    (* limit the left side to single-op prefixes of the same space to keep
-       the matrix ~100k cases *)
-    (List.map (fun a -> [ a ]) ops1);
-  check_bool "covered" (!checked > 1_500)
+  let r = passing "mlist" in
+  check_bool "covered" (r.counts.cross > 1_500)
 
 (* --- text ----------------------------------------------------------------- *)
 
-let text_states = [ ""; "a"; "ab"; "abcd" ]
-
-let text_ops state =
-  let n = String.length state in
-  List.concat
-    [ List.concat_map (fun p -> [ T.ins p "X"; T.ins p "YY" ]) (List.init (n + 1) Fun.id)
-    ; List.concat_map
-        (fun p -> List.filter_map (fun l -> if p + l <= n then Some (T.Del (p, l)) else None) [ 1; 2; 3 ])
-        (List.init n Fun.id)
-    ]
-
 let text_pairs () =
-  count := 0;
-  check_tp1_all ~pp_op:T.pp_op (fun ~state ~a ~b ~a_wins -> Conv_t.tp1 ~state ~a ~b ~a_wins)
-    text_states text_ops;
-  check_bool "covered a real space" (!count > 500)
+  let r = passing "mtext" in
+  check_bool "covered a real space" (r.counts.tp1 > 500)
 
 (* --- stacks --------------------------------------------------------------- *)
 
-let stack_states = List.init 4 (fun n -> List.init n Fun.id)
-
-let stack_ops state =
-  let n = List.length state in
-  List.concat
-    [ List.concat_map (fun i -> [ Stack.Push_at (i, 77) ]) (List.init (n + 1) Fun.id)
-    ; List.map (fun i -> Stack.Pop_at i) (List.init n Fun.id)
-    ]
-
 let stack_pairs () =
-  count := 0;
-  check_tp1_all ~pp_op:Stack.pp_op (fun ~state ~a ~b ~a_wins -> Conv_s.tp1 ~state ~a ~b ~a_wins)
-    stack_states stack_ops;
-  check_bool "covered a real space" (!count > 100)
+  let r = passing "mstack" in
+  check_bool "covered a real space" (r.counts.tp1 > 100)
 
 (* --- trees ---------------------------------------------------------------- *)
 
-let tree_states =
-  [ []
-  ; [ Tree.leaf "a" ]
-  ; [ Tree.branch "a" [ Tree.leaf "x" ]; Tree.leaf "b" ]
-  ; [ Tree.branch "a" [ Tree.leaf "x"; Tree.leaf "y" ]; Tree.leaf "b"; Tree.leaf "c" ]
-  ]
-
-let rec node_paths ?(prefix = []) forest =
-  List.concat
-    (List.mapi
-       (fun i n ->
-         let here = List.rev (i :: prefix) in
-         here :: node_paths ~prefix:(i :: prefix) n.Tree.children)
-       forest)
-
-let rec gap_paths ?(prefix = []) forest =
-  let here = List.init (List.length forest + 1) (fun i -> List.rev (i :: prefix)) in
-  here @ List.concat (List.mapi (fun i n -> gap_paths ~prefix:(i :: prefix) n.Tree.children) forest)
-
-let tree_ops state =
-  List.concat
-    [ List.map (fun p -> Tree.insert p (Tree.leaf "n")) (gap_paths state)
-    ; List.map Tree.delete (node_paths state)
-    ; List.map (fun p -> Tree.relabel p "r") (node_paths state)
-    ]
-
 let tree_pairs () =
-  count := 0;
-  check_tp1_all ~pp_op:Tree.pp_op (fun ~state ~a ~b ~a_wins -> Conv_tree.tp1 ~state ~a ~b ~a_wins)
-    tree_states tree_ops;
-  check_bool "covered a real space" (!count > 500)
+  let r = passing "mtree" in
+  check_bool "covered a real space" (r.counts.tp1 > 500)
+
+(* --- the types the hand-rolled loops never covered ------------------------ *)
+
+let newly_covered () =
+  List.iter
+    (fun name ->
+      let r = passing name in
+      check_bool (name ^ " checked something") (Check.Report.total r.counts > 0);
+      check_bool (name ^ " merge invariants ran") (r.counts.merge_order > 0 && r.counts.merge_nested > 0))
+    [ "mcounter"; "mregister"; "mset"; "mmap" ]
+
+(* --- the queue's documented divergence (satellite-1 triage regression) ----- *)
+
+(* Op_queue's transform is the identity, so two concurrent pushes land in
+   local application order: TP1's minimal counterexample is push/push on the
+   empty queue.  That is the module's documented intention (order = merge
+   serialization order), encoded in the registry as "queue-push-order" —
+   this test pins both the counterexample and the XFAIL plumbing, and
+   checks the merge invariants still ran (and passed) behind it. *)
+let queue_push_order () =
+  let r = report "mqueue" in
+  check_bool "expected failure, not a pass" (r.verdict <> Check.Report.Pass);
+  check_bool "documented as known issue" (Check.Report.passed r);
+  (match r.expected with
+  | Some reason -> check_bool "right issue" (String.length reason >= 16 && String.sub reason 0 16 = "queue-push-order")
+  | None -> Alcotest.fail "expected reason missing");
+  (match r.verdict with
+  | Check.Report.Fail cex ->
+    check_bool "pairwise property" (cex.property = Check.Report.Tp1 || cex.property = Check.Report.Cross);
+    check_bool "minimal: one push per side" (cex.ops_total = 2);
+    check_bool "no totality exception" (cex.exn = None)
+  | Check.Report.Pass -> assert false);
+  check_bool "merge serialization still verified" (r.counts.merge_order > 0 && r.counts.merge_nested > 0)
+
+(* --- the whole registry at the CI depth ------------------------------------ *)
+
+let registry_gates () =
+  List.iter
+    (fun e ->
+      let r = Check.Registry.run ~depth:1 e in
+      if not (Check.Report.passed r) then
+        Alcotest.failf "%s" (Format.asprintf "%a" Check.Report.pp r))
+    (Check.Registry.all ())
 
 let suite =
   [ Alcotest.test_case "lists: all op pairs, all ties" `Quick list_pairs
@@ -163,4 +108,7 @@ let suite =
   ; Alcotest.test_case "text: all op pairs, all ties" `Quick text_pairs
   ; Alcotest.test_case "stacks: all op pairs, all ties" `Quick stack_pairs
   ; Alcotest.test_case "trees: all op pairs, all ties" `Quick tree_pairs
+  ; Alcotest.test_case "scalars, sets, maps: newly covered" `Quick newly_covered
+  ; Alcotest.test_case "queue: documented push-order divergence" `Quick queue_push_order
+  ; Alcotest.test_case "registry: all entries gate at CI depth" `Quick registry_gates
   ]
