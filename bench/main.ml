@@ -14,6 +14,7 @@
      dune exec bench/main.exe coop            # threaded vs cooperative scheduler
      dune exec bench/main.exe topology        # network shapes (full/ring/star/grid)
      dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
+     dune exec bench/main.exe journal [--gate]  # journal compaction payoff on MergeAll
      dune exec bench/main.exe micro           # bechamel component microbenches
 
    Flags (after the subcommand):
@@ -560,6 +561,141 @@ let micro ~quick () =
       Format.printf "%-45s %12.1f ns/run   (r2 %.3f)@." name ns r2)
     (List.sort compare rows)
 
+(* --- journal: compaction payoff on a journal-heavy MergeAll ----------------- *)
+
+module J_str = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf s = Format.fprintf ppf "%s" s
+end
+
+module J_int = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module J_map = Sm_mergeable.Mmap.Make (J_str) (J_int)
+module J_reg = Sm_mergeable.Mregister.Make (J_str)
+
+let jk_text = Sm_mergeable.Mtext.key ~name:"journal.text"
+let jk_map = J_map.key ~name:"journal.map"
+let jk_reg = J_reg.key ~name:"journal.reg"
+let jk_counter = Sm_mergeable.Mcounter.key ~name:"journal.counter"
+
+(* One child's journal: long compactable runs that still conflict *across*
+   children — text appends race for the same positions, map puts collide on
+   the same 8 keys, register assigns disagree — so the merge cannot take the
+   commutes fast path and every surviving op really is transformed. *)
+let journal_child_ops ws ~child ~ops_per_child =
+  let n_text = ops_per_child * 5 / 8 in
+  let n_map = ops_per_child / 4 in
+  let n_scalar = ops_per_child / 16 in
+  for _ = 1 to n_text do
+    Sm_mergeable.Mtext.append ws jk_text (String.make 1 (Char.chr (97 + (child mod 26))))
+  done;
+  for i = 1 to n_map do
+    J_map.put ws jk_map (Printf.sprintf "k%d" (i mod 8)) ((child * 1000) + i)
+  done;
+  for i = 1 to n_scalar do
+    J_reg.set ws jk_reg (Printf.sprintf "c%d-%d" child i)
+  done;
+  for _ = 1 to n_scalar do
+    Sm_mergeable.Mcounter.incr ws jk_counter
+  done
+
+type journal_run =
+  { j_ms : float
+  ; j_transforms : int
+  ; j_compact_in : int
+  ; j_compact_out : int
+  ; j_digest : string
+  }
+
+let journal_run ~children ~ops_per_child ~compaction =
+  let module Ws = Sm_mergeable.Workspace in
+  let module M = Sm_obs.Metrics in
+  let saved_c = Ws.compaction_enabled () in
+  let saved_m = M.is_enabled () in
+  Ws.set_compaction compaction;
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Ws.set_compaction saved_c;
+      M.set_enabled saved_m)
+  @@ fun () ->
+  let parent = Ws.create () in
+  Ws.init parent jk_text "";
+  Ws.init parent jk_map J_map.Op.Key_map.empty;
+  Ws.init parent jk_reg "-";
+  Ws.init parent jk_counter 0;
+  let base = Ws.snapshot parent in
+  let kids =
+    List.init children (fun i ->
+        let ws = Ws.copy parent in
+        journal_child_ops ws ~child:i ~ops_per_child;
+        ws)
+  in
+  let t0c = M.value Sm_ot.Control.transform_calls in
+  let ci0 = M.value Sm_ot.Control.compact_in in
+  let co0 = M.value Sm_ot.Control.compact_out in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun child -> Ws.merge_child ~parent ~child ~base) kids;
+  let j_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  { j_ms
+  ; j_transforms = M.value Sm_ot.Control.transform_calls - t0c
+  ; j_compact_in = M.value Sm_ot.Control.compact_in - ci0
+  ; j_compact_out = M.value Sm_ot.Control.compact_out - co0
+  ; j_digest = Ws.digest parent
+  }
+
+(* Returns whether the >= 2x transform-call reduction held with identical
+   digests; the driver turns that into the exit code *after* writing the
+   JSON artifact, so a failing gate still uploads its evidence. *)
+let journal_bench () =
+  section "journal: compaction payoff on a journal-heavy MergeAll";
+  let children = 8 and ops_per_child = 160 and reps = 3 in
+  Format.printf "%d children x %d journal ops (appends / map puts / assigns / incrs),@."
+    children ops_per_child;
+  Format.printf "merged into one parent with compaction off, then on:@.@.";
+  let measure ~compaction =
+    let label = if compaction then "on" else "off" in
+    let runs =
+      List.init reps (fun _ ->
+          let r = journal_run ~children ~ops_per_child ~compaction in
+          record (Printf.sprintf "merge-all/compaction=%s" label) r.j_ms;
+          record (Printf.sprintf "transform_calls/compaction=%s" label)
+            (float_of_int r.j_transforms);
+          r)
+    in
+    (* the op accounting is deterministic across reps; only wall time varies *)
+    let best = List.fold_left (fun a r -> if r.j_ms < a.j_ms then r else a) (List.hd runs) runs in
+    best
+  in
+  let off = measure ~compaction:false in
+  let on = measure ~compaction:true in
+  Format.printf "%-16s %14s %18s %22s@." "compaction" "merge wall" "transform calls" "journal ops";
+  let row label (r : journal_run) =
+    Format.printf "%-16s %11.2f ms %18d %14d -> %-6d@." label r.j_ms r.j_transforms
+      (if r.j_compact_in = 0 then children * ops_per_child else r.j_compact_in)
+      (if r.j_compact_in = 0 then children * ops_per_child else r.j_compact_out)
+  in
+  row "off" off;
+  row "on" on;
+  let ratio = float_of_int off.j_transforms /. float_of_int (max 1 on.j_transforms) in
+  Format.printf "@.transform calls cut %.0fx (%d -> %d), wall time %.2fx@." ratio off.j_transforms
+    on.j_transforms (off.j_ms /. on.j_ms);
+  let digests_equal = String.equal off.j_digest on.j_digest in
+  Format.printf "digests %s (%s)@."
+    (if digests_equal then "identical" else "DIFFER — COMPACTION CHANGED THE MERGE")
+    on.j_digest;
+  let ok = digests_equal && off.j_transforms >= 2 * on.j_transforms in
+  Format.printf "gate: %s (>= 2x transform-call reduction with equal digests)@."
+    (if ok then "ok" else "FAILED");
+  ok
+
 (* --- driver ----------------------------------------------------------------- *)
 
 let () =
@@ -627,6 +763,10 @@ let () =
   | _ :: "coop" :: _ -> coop_bench (); finish "coop"
   | _ :: "topology" :: _ -> topology_bench (); finish "topology"
   | _ :: "semaphore" :: _ -> semaphore_bench (); finish "semaphore"
+  | _ :: "journal" :: _ ->
+    let ok = journal_bench () in
+    finish "journal";
+    if has "--gate" && not ok then exit 1
   | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
   | _ :: "all" :: _ | [ _ ] ->
     fig1 ();
@@ -639,11 +779,12 @@ let () =
     coop_bench ();
     topology_bench ();
     semaphore_bench ();
+    ignore (journal_bench ());
     micro ~quick:true ();
     Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@.";
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|micro|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|micro|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

@@ -146,7 +146,12 @@ let list_types () =
   List.iter
     (fun p ->
       Format.printf "  %-18s %s@." (Check.Report.property_name p) (Check.Report.property_doc p))
-    [ Check.Report.Tp1; Check.Report.Cross; Check.Report.Merge_order; Check.Report.Merge_nested ]
+    [ Check.Report.Tp1
+    ; Check.Report.Cross
+    ; Check.Report.Merge_order
+    ; Check.Report.Merge_nested
+    ; Check.Report.Compact
+    ]
 
 (* --- cmdliner -------------------------------------------------------------- *)
 

@@ -33,6 +33,12 @@ module Count_map = struct
   let type_name = "count-map"
   let apply s (Bump (w, n)) = M.update w (fun v -> Some (Option.value ~default:0 v + n)) s
   let transform a ~against:_ ~tie:_ = [ a ]
+
+  (* bumps always commute (identity transform both ways); compaction is
+     left at the sound identity to keep the extension example minimal *)
+  let compact ops = ops
+  let commutes _ _ = true
+
   let equal_state = M.equal Int.equal
 
   let pp_state ppf s =

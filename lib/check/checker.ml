@@ -35,6 +35,11 @@ module Make (E : Enum.S) = struct
     Ws.init ws key state;
     ws
 
+  let with_compaction on f =
+    let saved = Ws.compaction_enabled () in
+    Ws.set_compaction on;
+    Fun.protect ~finally:(fun () -> Ws.set_compaction saved) f
+
   (* Two concurrent single-log children merged into a parent that applied its
      own ops after spawning them — through the real Workspace path. *)
   let merge_order_result key state ~applied ~cx ~cy =
@@ -51,7 +56,12 @@ module Make (E : Enum.S) = struct
     Ws.merge_child ~parent ~child:wy ~base;
     (Ws.read parent key, Ws.digest parent)
 
+  (* Merge_order and Merge_nested compare the workspace against the *pure*
+     control algorithm, so they run with compaction forced off; the Compact
+     property separately pins compaction-on to compaction-off.  Together:
+     on = off = control. *)
   let merge_order_holds key state ~applied ~cx ~cy =
+    with_compaction false @@ fun () ->
     let s1, d1 = merge_order_result key state ~applied ~cx ~cy in
     let s2, d2 = merge_order_result key state ~applied ~cx ~cy in
     let expect = Conv.merged_state ~state ~applied ~children:[ cx; cy ] in
@@ -77,10 +87,42 @@ module Make (E : Enum.S) = struct
     Ws.read parent key
 
   let merge_nested_holds key state ~p ~c1 ~c2 ~g =
+    with_compaction false @@ fun () ->
     let got = merge_nested_result key state ~p ~c1 ~c2 ~g in
     let child_log = c1 @ C.merge ~applied:c2 ~children:[ g ] ~tie:Side.serialization in
     let expect = Conv.merged_state ~state ~applied:p ~children:[ child_log ] in
     E.equal_state got expect
+
+  (* --- compaction equivalence ---------------------------------------------- *)
+
+  let compact_equiv state ops =
+    E.equal_state (C.apply_seq state (E.compact ops)) (C.apply_seq state ops)
+
+  (* Every tie policy a caller could pass: [commutes] promises identity
+     transforms regardless of how ties break, because the control fast path
+     skips the transform without knowing the policy. *)
+  let all_ties =
+    [ Side.serialization
+    ; Side.flip Side.serialization
+    ; Side.uniform Side.Incoming
+    ; Side.uniform Side.Applied
+    ]
+
+  let commutes_contract a b =
+    (not (E.commutes a b))
+    || List.for_all
+         (fun tie -> E.transform a ~against:b ~tie = [ a ] && E.transform b ~against:a ~tie = [ b ])
+         all_ties
+
+  (* The end-to-end claim: the same merge, journals compacted vs raw, lands
+     on the same state *and* the same digest.  The same key serves both runs
+     so the digests are comparable. *)
+  let merge_flag_equiv key state ~applied ~cx ~cy =
+    let s_on, d_on = with_compaction true (fun () -> merge_order_result key state ~applied ~cx ~cy) in
+    let s_off, d_off =
+      with_compaction false (fun () -> merge_order_result key state ~applied ~cx ~cy)
+    in
+    E.equal_state s_on s_off && String.equal d_on d_off
 
   (* Scenario = [applied; left; right; nested]: the shape the shrinker
      rewrites.  Evaluation of a shape a property does not use (e.g. TP1 with
@@ -99,6 +141,14 @@ module Make (E : Enum.S) = struct
       if nested <> [] then true
       else merge_order_holds (fresh_key ()) state ~applied ~cx:left ~cy:right
     | Merge_nested -> merge_nested_holds (fresh_key ()) state ~p:applied ~c1:left ~c2:right ~g:nested
+    | Compact ->
+      if nested <> [] then true
+      else
+        compact_equiv state applied && compact_equiv state left && compact_equiv state right
+        && (match (applied, left, right) with
+           | [], [ a ], [ b ] -> commutes_contract a b
+           | _ -> true)
+        && merge_flag_equiv (fresh_key ()) state ~applied ~cx:left ~cy:right
 
   (* --- shrinking ----------------------------------------------------------- *)
 
@@ -166,8 +216,9 @@ module Make (E : Enum.S) = struct
             (render_state via_right) (render_state via_left)
         | Merge_order ->
           let got, _ =
-            merge_order_result (fresh_key ()) cex.state ~applied:cex.applied ~cx:cex.left
-              ~cy:cex.right
+            with_compaction false (fun () ->
+                merge_order_result (fresh_key ()) cex.state ~applied:cex.applied ~cx:cex.left
+                  ~cy:cex.right)
           in
           let expect =
             Conv.merged_state ~state:cex.state ~applied:cex.applied
@@ -177,8 +228,9 @@ module Make (E : Enum.S) = struct
             (render_state got) (render_state expect)
         | Merge_nested ->
           let got =
-            merge_nested_result (fresh_key ()) cex.state ~p:cex.applied ~c1:cex.left ~c2:cex.right
-              ~g:cex.nested
+            with_compaction false (fun () ->
+                merge_nested_result (fresh_key ()) cex.state ~p:cex.applied ~c1:cex.left
+                  ~c2:cex.right ~g:cex.nested)
           in
           let child_log =
             cex.left @ C.merge ~applied:cex.right ~children:[ cex.nested ] ~tie:Side.serialization
@@ -188,6 +240,38 @@ module Make (E : Enum.S) = struct
           in
           Format.asprintf "workspace merged to %s but flattened merge gives %s" (render_state got)
             (render_state expect)
+        | Compact -> (
+          let seq_violation name ops =
+            if compact_equiv cex.state ops then None
+            else
+              Some
+                (Format.asprintf "%s compacts to [%s] which applies to %s, but raw applies to %s"
+                   name
+                   (String.concat "; " (List.map render_op (E.compact ops)))
+                   (render_state (C.apply_seq cex.state (E.compact ops)))
+                   (render_state (C.apply_seq cex.state ops)))
+          in
+          match
+            List.find_map
+              (fun (n, ops) -> seq_violation n ops)
+              [ ("applied", cex.applied); ("left", cex.left); ("right", cex.right) ]
+          with
+          | Some d -> d
+          | None -> (
+            match (cex.applied, cex.left, cex.right) with
+            | [], [ a ], [ b ] when not (commutes_contract a b) ->
+              "commutes promised identity transforms in both directions, but transform rewrites \
+               the pair under some tie policy"
+            | _ ->
+              let key = fresh_key () in
+              let run on =
+                with_compaction on (fun () ->
+                    merge_order_result key cex.state ~applied:cex.applied ~cx:cex.left
+                      ~cy:cex.right)
+              in
+              let s_on, d_on = run true and s_off, d_off = run false in
+              Format.asprintf "compacted merge gives %s (digest %s) but raw merge gives %s (digest %s)"
+                (render_state s_on) d_on (render_state s_off) d_off))
       with _ -> "")
 
   let render (cex : cex) : Report.counterexample =
@@ -202,7 +286,8 @@ module Make (E : Enum.S) = struct
         (match cex.property with
         | Tp1 -> Printf.sprintf "a_wins=%b" cex.a_wins
         | Cross -> Format.asprintf "tie=%a" Side.pp_policy cex.tie
-        | Merge_order | Merge_nested -> "tie=serialization (the runtime's merge policy)")
+        | Merge_order | Merge_nested -> "tie=serialization (the runtime's merge policy)"
+        | Compact -> "compaction on vs off (merge tie=serialization; commutes under every tie)")
     ; exn = cex.exn
     ; ops_total =
         List.length cex.applied + List.length cex.left + List.length cex.right
@@ -322,6 +407,54 @@ module Make (E : Enum.S) = struct
                   c2s)
               ops)
           p_choices);
+      (* Compaction equivalence.  Enumerated last so the earlier properties
+         pin their own counterexamples first (the mutation tests in
+         test_check rely on that order).  Singleton pairs exercise the
+         commutes contract; 2-op chains (against a sibling and, at depth >= 2,
+         a concurrent parent op) and 3-op chains exercise the actual journal
+         rewrites, through the real Workspace path with the flag on and
+         off. *)
+      if want Compact then
+        List.iter
+          (fun state ->
+            let ops = E.ops state in
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun b ->
+                    case ~property:Compact ~state ~left:[ a ] ~right:[ b ] (fun () ->
+                        counts.compact <- counts.compact + 1))
+                  ops)
+              ops;
+            let applieds =
+              [] :: (if depth >= 2 then match ops with [] -> [] | p :: _ -> [ [ p ] ] else [])
+            in
+            List.iter
+              (fun a ->
+                let mid = E.apply state a in
+                List.iter
+                  (fun a2 ->
+                    let left = [ a; a2 ] in
+                    List.iter
+                      (fun applied ->
+                        case ~property:Compact ~state ~applied ~left ~right:[] (fun () ->
+                            counts.compact <- counts.compact + 1);
+                        List.iter
+                          (fun b ->
+                            case ~property:Compact ~state ~applied ~left ~right:[ b ] (fun () ->
+                                counts.compact <- counts.compact + 1))
+                          ops)
+                      applieds;
+                    if depth >= 2 then
+                      let mid2 = E.apply mid a2 in
+                      List.iter
+                        (fun a3 ->
+                          case ~property:Compact ~state ~left:[ a; a2; a3 ] ~right:[] (fun () ->
+                              counts.compact <- counts.compact + 1))
+                        (E.ops mid2))
+                  (E.ops mid))
+              ops)
+          states;
       Ok counts
     with Counterexample cex -> Error (counts, minimize cex)
 

@@ -3,28 +3,34 @@ type property =
   | Cross
   | Merge_order
   | Merge_nested
+  | Compact
 
 let property_name = function
   | Tp1 -> "TP1"
   | Cross -> "cross-convergence"
   | Merge_order -> "merge-order"
   | Merge_nested -> "merge-nested"
+  | Compact -> "compaction-equivalence"
 
 let property_doc = function
   | Tp1 -> "apply(apply s a)(IT b a) = apply(apply s b)(IT a b) under both tie winners"
   | Cross -> "Control.cross makes concurrent sequences converge under both serialization ties"
   | Merge_order -> "Workspace.merge_child matches the control algorithm's merge, deterministically"
   | Merge_nested -> "a child that merged a grandchild merges into the parent like the flattened log"
+  | Compact ->
+    "compact is apply-equivalent, merges identically (states and digests) with compaction on or \
+     off, and commutes implies identity transforms both ways"
 
 type counts =
   { mutable tp1 : int
   ; mutable cross : int
   ; mutable merge_order : int
   ; mutable merge_nested : int
+  ; mutable compact : int
   }
 
-let zero_counts () = { tp1 = 0; cross = 0; merge_order = 0; merge_nested = 0 }
-let total c = c.tp1 + c.cross + c.merge_order + c.merge_nested
+let zero_counts () = { tp1 = 0; cross = 0; merge_order = 0; merge_nested = 0; compact = 0 }
+let total c = c.tp1 + c.cross + c.merge_order + c.merge_nested + c.compact
 
 type counterexample =
   { property : property
@@ -84,17 +90,17 @@ let pp_counterexample ppf c =
 let pp ppf t =
   match (t.verdict, t.expected) with
   | Pass, _ ->
-    Format.fprintf ppf "%-10s PASS  depth %d: %d cases (TP1 %d, cross %d, merge %d+%d)" t.name
-      t.depth (total t.counts) t.counts.tp1 t.counts.cross t.counts.merge_order
-      t.counts.merge_nested
+    Format.fprintf ppf "%-10s PASS  depth %d: %d cases (TP1 %d, cross %d, merge %d+%d, compact %d)"
+      t.name t.depth (total t.counts) t.counts.tp1 t.counts.cross t.counts.merge_order
+      t.counts.merge_nested t.counts.compact
   | Fail c, Some reason ->
     (* counts here cover the properties still checked once the expected
        failure's property was skipped *)
     Format.fprintf ppf
-      "@[<v>%-10s XFAIL depth %d: %d cases elsewhere (TP1 %d, cross %d, merge %d+%d) — \
+      "@[<v>%-10s XFAIL depth %d: %d cases elsewhere (TP1 %d, cross %d, merge %d+%d, compact %d) — \
        documented: %s@,%a@]"
       t.name t.depth (total t.counts) t.counts.tp1 t.counts.cross t.counts.merge_order
-      t.counts.merge_nested reason pp_counterexample c
+      t.counts.merge_nested t.counts.compact reason pp_counterexample c
   | Fail c, None ->
     Format.fprintf ppf "@[<v>%-10s FAIL  depth %d after %d cases@,%a@]" t.name t.depth
       (total t.counts) pp_counterexample c

@@ -13,6 +13,12 @@ type property =
       (** a three-level task tree (parent / child / grandchild) merged
           stepwise through the workspace agrees with the flattened
           control-algorithm merge *)
+  | Compact
+      (** [compact] produces an apply-equivalent journal on every enumerated
+          state; workspace merges with compaction on vs off yield equal
+          states and digests; and [commutes a b] implies [transform] is the
+          identity in both directions under every tie policy (the contract
+          the {!Sm_ot.Control.Make} fast paths rely on) *)
 
 val property_name : property -> string
 val property_doc : property -> string
@@ -22,6 +28,7 @@ type counts =
   ; mutable cross : int
   ; mutable merge_order : int
   ; mutable merge_nested : int
+  ; mutable compact : int
   }
 
 val zero_counts : unit -> counts

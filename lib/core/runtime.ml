@@ -194,6 +194,8 @@ let merge_child_locked ctx ~validate child =
   let metered = detail || Obs.Metrics.is_enabled () in
   let ops = if metered && refusal = None then Ws.op_count child.ws else 0 in
   let transforms_before = if metered then Obs.Metrics.value Sm_ot.Control.transform_calls else 0 in
+  let compact_in_before = if metered then Obs.Metrics.value Sm_ot.Control.compact_in else 0 in
+  let compact_out_before = if metered then Obs.Metrics.value Sm_ot.Control.compact_out else 0 in
   (match refusal with
   | None -> Ws.merge_child ~parent:ctx.ws ~child:child.ws ~base:child.base
   | Some _ -> ());
@@ -203,6 +205,8 @@ let merge_child_locked ctx ~validate child =
   end;
   if detail then begin
     let transforms = Obs.Metrics.value Sm_ot.Control.transform_calls - transforms_before in
+    let compact_in = Obs.Metrics.value Sm_ot.Control.compact_in - compact_in_before in
+    let compact_out = Obs.Metrics.value Sm_ot.Control.compact_out - compact_out_before in
     let outcome =
       match refusal with
       | None -> "merged"
@@ -215,6 +219,8 @@ let merge_child_locked ctx ~validate child =
            [ ("child", E.S child.name)
            ; ("ops", E.I ops)
            ; ("transforms", E.I transforms)
+           ; ("compact_in", E.I compact_in)
+           ; ("compact_out", E.I compact_out)
            ; ("outcome", E.S outcome)
            ]
          E.Merge_child)

@@ -79,6 +79,16 @@ module Versions = struct
       (Imap.bindings t)
 end
 
+(* Journal compaction before transform.  Default on: compacted journals are
+   apply-equivalent to the raw ones on every state (the lib/check
+   compaction-equivalence property verifies this per op module), so the
+   merged states and digests are unchanged while the transform cross gets
+   shorter sequences.  Runtime-switchable so equivalence can be asserted
+   end-to-end by diffing digests with the flag off. *)
+let compaction = Atomic.make true
+let set_compaction on = Atomic.set compaction on
+let compaction_enabled () = Atomic.get compaction
+
 let create () = { uid = Atomic.fetch_and_add next_ws_uid 1; cells = Imap.empty }
 
 let ws_uid t = t.uid
@@ -146,6 +156,7 @@ let integrate (type s o) (k : (s, o) key) ~(parent : (s, o) cell) ~(ops : o list
       (Printf.sprintf "Workspace.merge_child: journal of %S truncated past child base (%d < %d)"
          k.name base_version parent.offset);
   let parent_since = Sm_util.Vec.slice parent.journal ~from:(base_version - parent.offset) in
+  let ops = if Atomic.get compaction then C.compact ops else ops in
   let ops' = C.transform_seq ops ~against:parent_since ~tie:Sm_ot.Side.serialization in
   parent.state <- C.apply_seq parent.state ops';
   Sm_util.Vec.append_list parent.journal ops'

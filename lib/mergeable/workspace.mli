@@ -94,12 +94,22 @@ val copy : t -> t
 val merge_child : parent:t -> child:t -> base:Versions.t -> unit
 (** Merge a child's journals into the parent.  [base] must be the parent
     snapshot taken when the child's journals were last empty (spawn or
-    sync).  For each key bound in both: transform the child's journal
-    against the parent's operations since [base] and apply + journal the
-    result in the parent.  Keys the child initialized itself are installed
-    in the parent ({!Already_bound} if the parent initialized them too);
-    keys the parent gained since spawn are untouched.  Deterministic given
-    [base] and both journals. *)
+    sync).  For each key bound in both: compact the child's journal (when
+    {!compaction_enabled}), transform it against the parent's operations
+    since [base] and apply + journal the result in the parent.  Keys the
+    child initialized itself are installed in the parent ({!Already_bound}
+    if the parent initialized them too); keys the parent gained since spawn
+    are untouched.  Deterministic given [base] and both journals. *)
+
+val set_compaction : bool -> unit
+(** Toggle journal compaction inside {!merge_child}/{!merge_ops} (process
+    global, default on).  Compaction rewrites each child journal to an
+    apply-equivalent normal form before transformation, so merged states and
+    digests are identical either way — the switch exists so that equivalence
+    can be measured and asserted. *)
+
+val compaction_enabled : unit -> bool
+(** Current {!set_compaction} setting. *)
 
 val clone_full : t -> t
 (** A complete clone: states, journals and truncation offsets.  Unlike

@@ -9,6 +9,8 @@ type row =
   ; children_merged : int
   ; ops_folded : int
   ; transforms : int
+  ; compact_in : int
+  ; compact_out : int
   ; merged_ok : int
   ; aborted : int
   ; validation_failed : int
@@ -30,6 +32,8 @@ let row_of_task (t : M.task) =
   ; children_merged = List.length records
   ; ops_folded = List.fold_left (fun a r -> a + r.M.mc_ops) 0 records
   ; transforms = List.fold_left (fun a r -> a + r.M.mc_transforms) 0 records
+  ; compact_in = List.fold_left (fun a r -> a + r.M.mc_compact_in) 0 records
+  ; compact_out = List.fold_left (fun a r -> a + r.M.mc_compact_out) 0 records
   ; merged_ok = count M.Merged
   ; aborted = count M.Aborted
   ; validation_failed = count M.Validation_failed
@@ -52,6 +56,8 @@ let totals rows =
       ; children_merged = acc.children_merged + r.children_merged
       ; ops_folded = acc.ops_folded + r.ops_folded
       ; transforms = acc.transforms + r.transforms
+      ; compact_in = acc.compact_in + r.compact_in
+      ; compact_out = acc.compact_out + r.compact_out
       ; merged_ok = acc.merged_ok + r.merged_ok
       ; aborted = acc.aborted + r.aborted
       ; validation_failed = acc.validation_failed + r.validation_failed
@@ -69,6 +75,8 @@ let totals rows =
     ; children_merged = 0
     ; ops_folded = 0
     ; transforms = 0
+    ; compact_in = 0
+    ; compact_out = 0
     ; merged_ok = 0
     ; aborted = 0
     ; validation_failed = 0
@@ -85,7 +93,9 @@ let totals rows =
    compared 1:1 against a `bench --obs` dump of the same run. *)
 let metric_view rows =
   let t = totals rows in
-  [ ("ot.transform_calls", t.transforms)
+  [ ("ot.compact_in", t.compact_in)
+  ; ("ot.compact_out", t.compact_out)
+  ; ("ot.transform_calls", t.transforms)
   ; ("runtime.clones", t.clones)
   ; ("runtime.merged_children", t.children_merged)
   ; ("runtime.ops_merged", t.ops_folded)
@@ -105,6 +115,8 @@ let to_json rows =
       ; ("children_merged", Json.Int r.children_merged)
       ; ("ops_folded", Json.Int r.ops_folded)
       ; ("transforms", Json.Int r.transforms)
+      ; ("compact_in", Json.Int r.compact_in)
+      ; ("compact_out", Json.Int r.compact_out)
       ; ("merged", Json.Int r.merged_ok)
       ; ("aborted", Json.Int r.aborted)
       ; ("validation_failed", Json.Int r.validation_failed)
@@ -135,4 +147,9 @@ let pp ppf rows =
   List.iter line by_span;
   line (totals rows);
   Format.fprintf ppf "@.trace-derived metric totals (compare with a --obs dump):@.";
-  List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %d@." k v) (metric_view rows)
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %d@." k v) (metric_view rows);
+  let t = totals rows in
+  if t.compact_in > 0 then
+    Format.fprintf ppf "  %-32s %.2f (%d -> %d ops)@." "compaction ratio"
+      (float_of_int t.compact_out /. float_of_int t.compact_in)
+      t.compact_in t.compact_out

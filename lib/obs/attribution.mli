@@ -18,6 +18,8 @@ type row =
   ; children_merged : int  (** [Merge_child] folds performed *)
   ; ops_folded : int
   ; transforms : int
+  ; compact_in : int  (** operations handed to journal compaction *)
+  ; compact_out : int  (** operations surviving compaction *)
   ; merged_ok : int
   ; aborted : int
   ; validation_failed : int

@@ -19,6 +19,8 @@ type merge_record =
   ; mc_child_name : string
   ; mc_ops : int
   ; mc_transforms : int
+  ; mc_compact_in : int
+  ; mc_compact_out : int
   ; mc_outcome : outcome
   ; mc_ts : int
   }
@@ -189,6 +191,8 @@ let add_event b (e : Event.t) =
       ; mc_child_name = cname
       ; mc_ops = Option.value ~default:0 (int_arg "ops" e)
       ; mc_transforms = Option.value ~default:0 (int_arg "transforms" e)
+      ; mc_compact_in = Option.value ~default:0 (int_arg "compact_in" e)
+      ; mc_compact_out = Option.value ~default:0 (int_arg "compact_out" e)
       ; mc_outcome =
           Option.value ~default:Merged (Option.bind (str_arg "outcome" e) outcome_of_string)
       ; mc_ts = e.ts_ns

@@ -31,6 +31,8 @@ type merge_record =
   ; mc_child_name : string
   ; mc_ops : int  (** journal operations folded in *)
   ; mc_transforms : int  (** OT transform calls the fold took *)
+  ; mc_compact_in : int  (** operations handed to journal compaction *)
+  ; mc_compact_out : int  (** operations surviving compaction *)
   ; mc_outcome : outcome
   ; mc_ts : int
   }

@@ -15,6 +15,14 @@ val transform_calls : Sm_obs.Metrics.counter
     (each included pair counts both directions).  Only advances while
     {!Sm_obs.Metrics.set_enabled} profiling is on. *)
 
+val compact_in : Sm_obs.Metrics.counter
+(** Operations handed to {!Make.compact} across every instantiation.  Only
+    advances while {!Sm_obs.Metrics.set_enabled} profiling is on. *)
+
+val compact_out : Sm_obs.Metrics.counter
+(** Operations surviving {!Make.compact}; [compact_in - compact_out] is the
+    total journal shrinkage.  Only advances while profiling is on. *)
+
 module Make (O : Op_sig.S) : sig
   val apply_seq : O.state -> O.op list -> O.state
   (** Fold [O.apply] over a sequence. *)
@@ -31,7 +39,14 @@ module Make (O : Op_sig.S) : sig
       [(incoming', applied')] such that [applied @ incoming'] and
       [incoming @ applied'] produce {e the same} state (convergence), with
       direct conflicts resolved for [incoming] per [tie] (and for [applied]
-      per the opposite side, keeping the rule consistent). *)
+      per the opposite side, keeping the rule consistent).
+
+      Fast paths: when either sequence is empty, or every cross pair
+      satisfies [O.commutes] (which promises identity transforms in both
+      directions), both inputs are returned unchanged without invoking any
+      transform function.  The result is identical to the full cross — the
+      [commutes] contract is machine-checked by the [lib/check]
+      compaction-equivalence property. *)
 
   val transform_seq : O.op list -> against:O.op list -> tie:Side.policy -> O.op list
   (** First component of {!cross}. *)
@@ -42,5 +57,15 @@ module Make (O : Op_sig.S) : sig
       serialized sequence [applied @ child_1' @ child_2' @ ...]; applying it
       to the spawn-time state yields the merged result.  Merge order is
       significant: [merge ~children:[x; y] <> merge ~children:[y; x]] in
-      general. *)
+      general.
+
+      The serialization accumulates as chunks rather than one repeatedly
+      re-appended list, so merging [k] children is linear (not quadratic) in
+      the output length.  The transform sequence — and therefore the result
+      and the {!transform_calls} count — is unchanged. *)
+
+  val compact : O.op list -> O.op list
+  (** [O.compact] with {!compact_in}/{!compact_out} metering (skipped, along
+      with the rewrite itself, for journals of length [<= 1]).  The result
+      is apply-equivalent to the input on every state. *)
 end

@@ -55,6 +55,30 @@ module Make (Elt : Op_sig.ELT) = struct
     | Set (i, x), Set (j, _) ->
       if i = j && not (Side.incoming_wins tie.Side.value) then [] else [ Set (i, x) ]
 
+  (* Adjacent-pair rewriting at equal indices, iterated to a fixpoint:
+     insert-then-delete cancels, writes to the same slot collapse into the
+     last one.  Only same-index pairs rewrite — anything positional across
+     different indices would be state-dependent.  Every rule strictly
+     shortens the sequence, so the outer loop terminates. *)
+  let compact ops =
+    let rec sweep changed acc = function
+      | Ins (i, _) :: Del j :: rest when j = i -> sweep true acc rest
+      | Ins (i, _) :: Set (j, y) :: rest when j = i -> sweep true acc (Ins (i, y) :: rest)
+      | Set (i, _) :: Set (j, y) :: rest when j = i -> sweep true acc (Set (i, y) :: rest)
+      | Set (i, _) :: Del j :: rest when j = i -> sweep true acc (Del j :: rest)
+      | op :: rest -> sweep changed (op :: acc) rest
+      | [] -> (changed, List.rev acc)
+    in
+    let rec fix ops =
+      match sweep false [] ops with
+      | false, ops -> ops
+      | true, ops -> fix ops
+    in
+    match ops with [] | [ _ ] -> ops | _ -> fix ops
+
+  (* Positional ops shift each other's indices; no sound skip. *)
+  let commutes _ _ = false
+
   let equal_state = List.equal Elt.equal
 
   let pp_state ppf s =

@@ -25,6 +25,31 @@ module Make (Key : Op_sig.ORDERED_ELT) (Value : Op_sig.ELT) = struct
       | (Put _ | Remove _), (Put _ | Remove _) ->
         if Side.incoming_wins tie.Side.value then [ a ] else []
 
+  (* Per-key last-writer-wins: only a key's final op is observable.  Kept in
+     the order the surviving ops appeared, scanning newest-first so the
+     whole pass is O(n log n). *)
+  let compact = function
+    | ([] | [ _ ]) as ops -> ops
+    | ops ->
+      let seen = ref Key_map.empty in
+      List.fold_left
+        (fun acc op ->
+          let k = key_of op in
+          if Key_map.mem k !seen then acc
+          else begin
+            seen := Key_map.add k () !seen;
+            op :: acc
+          end)
+        [] (List.rev ops)
+
+  let commutes a b =
+    Key.compare (key_of a) (key_of b) <> 0
+    ||
+    match (a, b) with
+    | Remove _, Remove _ -> true
+    | Put (_, va), Put (_, vb) -> Value.equal va vb
+    | Put _, Remove _ | Remove _, Put _ -> false
+
   let equal_state = Key_map.equal Value.equal
 
   let pp_state ppf s =

@@ -20,6 +20,18 @@ module Make (Elt : Op_sig.ELT) = struct
      cross divergence as the expected issue "queue-push-order". *)
   let transform a ~against:_ ~tie:_ = [ a ]
 
+  (* No sound state-independent rewrite exists: [Push x; Pop] is the
+     identity only on an empty queue (on a non-empty one it pops the old
+     head and appends x), and pops are no-ops exactly when the queue is
+     empty — every candidate rule inspects the state.  Compaction stays the
+     identity. *)
+  let compact ops = ops
+
+  (* The transform is the identity in both directions for every pair, which
+     is precisely the contract [commutes] promises (apply-level ordering is
+     the merge serialization order — see the transform comment above). *)
+  let commutes _ _ = true
+
   let equal_state = List.equal Elt.equal
 
   let pp_state ppf s =

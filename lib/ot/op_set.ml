@@ -20,6 +20,31 @@ module Make (Elt : Op_sig.ORDERED_ELT) = struct
       if Elt.compare x y = 0 && not (Side.incoming_wins tie.Side.value) then [] else [ a ]
     | Add _, Add _ | Remove _, Remove _ -> [ a ]
 
+  let elt_of = function Add x -> x | Remove x -> x
+
+  (* Adds and removes of the same element overwrite each other: only the
+     last op per element is observable (add/remove cancellation is the
+     two-op case). *)
+  let compact = function
+    | ([] | [ _ ]) as ops -> ops
+    | ops ->
+      let seen = ref Elt_set.empty in
+      List.fold_left
+        (fun acc op ->
+          let x = elt_of op in
+          if Elt_set.mem x !seen then acc
+          else begin
+            seen := Elt_set.add x !seen;
+            op :: acc
+          end)
+        [] (List.rev ops)
+
+  let commutes a b =
+    Elt.compare (elt_of a) (elt_of b) <> 0
+    || (match (a, b) with
+       | Add _, Add _ | Remove _, Remove _ -> true
+       | Add _, Remove _ | Remove _, Add _ -> false)
+
   let equal_state = Elt_set.equal
 
   let pp_state ppf s =

@@ -40,8 +40,37 @@ module type S = sig
       concurrent insert) or dropped entirely (deleting an element someone
       already deleted).  [tie] resolves direct conflicts; see {!Side}. *)
 
+  val compact : op list -> op list
+  (** Normalize a {e sequential} journal (each op defined on its
+      predecessor's output) to an equivalent, usually shorter one:
+      [apply_seq s (compact ops) = apply_seq s ops] for every state [s] on
+      which [ops] is valid.  Rewrites must be state-independent (adjacent
+      coalescing, last-writer-wins, cancellation) so the claim holds on the
+      child's state {e and} on any state a concurrent merge produces —
+      lib/check's Compact property verifies exactly that, including that
+      compacted and raw journals transform to the same merged result.
+      Identity is always sound ({!Default}). *)
+
+  val commutes : op -> op -> bool
+  (** Conservative hint for the control algorithm's fast path: [commutes a b]
+      promises [transform a ~against:b ~tie = [a]] {e and}
+      [transform b ~against:a ~tie = [b]] under {e every} tie policy, so the
+      pair's cross can be skipped without changing the result sequences.
+      [false] is always sound ({!Default}); lib/check verifies the promise
+      against the real transform. *)
+
   val equal_state : state -> state -> bool
 
   val pp_state : Format.formatter -> state -> unit
   val pp_op : Format.formatter -> op -> unit
+end
+
+(** Sound do-nothing implementations of the optional-strength members of
+    {!S}, for operation modules that predate journal compaction (or whose
+    semantics admit no state-independent rewrite): [include Op_sig.Default]
+    after defining [op] and every property checked by lib/check holds
+    vacuously. *)
+module Default = struct
+  let compact ops = ops
+  let commutes _ _ = false
 end

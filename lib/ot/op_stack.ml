@@ -33,6 +33,24 @@ module Make (Elt : Op_sig.ELT) = struct
     | Pop_at i, Pop_at j ->
       if j < i then [ Pop_at (i - 1) ] else if j = i then [] else [ Pop_at i ]
 
+  (* Pushing a slot and immediately popping it cancels; that is the only
+     same-index pair whose net effect is state-independent (pop positions
+     against anything else depend on what sits where). *)
+  let compact ops =
+    let rec sweep changed acc = function
+      | Push_at (i, _) :: Pop_at j :: rest when j = i -> sweep true acc rest
+      | op :: rest -> sweep changed (op :: acc) rest
+      | [] -> (changed, List.rev acc)
+    in
+    let rec fix ops =
+      match sweep false [] ops with
+      | false, ops -> ops
+      | true, ops -> fix ops
+    in
+    match ops with [] | [ _ ] -> ops | _ -> fix ops
+
+  let commutes _ _ = false
+
   let equal_state = List.equal Elt.equal
 
   let pp_state ppf s =

@@ -48,6 +48,36 @@ let transform a ~against:b ~tie =
       let p' = if p <= q then p else if p >= q + m then p - m else q in
       [ Del (p', remaining) ]
 
+(* Adjacent coalescing, iterated to a fixpoint.  An insert landing inside
+   (or at either edge of) the previous insert's span splices into it; a
+   delete wholly inside the previous insert's span cuts out of it
+   (cancelling both when nothing is left); back-to-back deletes touching at
+   a boundary fuse into one range.  All rules are span-arithmetic only —
+   never looking at the underlying document — so they are state-independent,
+   and each strictly shortens the sequence. *)
+let compact ops =
+  let splice s k t = String.sub s 0 k ^ t ^ String.sub s k (String.length s - k) in
+  let cut s k m = String.sub s 0 k ^ String.sub s (k + m) (String.length s - k - m) in
+  let rec sweep changed acc = function
+    | Ins (p, s) :: Ins (q, t) :: rest when p <= q && q <= p + String.length s ->
+      sweep true acc (Ins (p, splice s (q - p) t) :: rest)
+    | Ins (p, s) :: Del (q, m) :: rest when p <= q && q + m <= p + String.length s ->
+      if m = String.length s then sweep true acc rest
+      else sweep true acc (Ins (p, cut s (q - p) m) :: rest)
+    | Del (p, l) :: Del (q, m) :: rest when q = p || q + m = p ->
+      sweep true acc (Del (min p q, l + m) :: rest)
+    | op :: rest -> sweep changed (op :: acc) rest
+    | [] -> (changed, List.rev acc)
+  in
+  let rec fix ops =
+    match sweep false [] ops with
+    | false, ops -> ops
+    | true, ops -> fix ops
+  in
+  match ops with [] | [ _ ] -> ops | _ -> fix ops
+
+let commutes _ _ = false
+
 let equal_state = String.equal
 let pp_state ppf s = Format.fprintf ppf "%S" s
 

@@ -133,6 +133,31 @@ module Make (Label : Op_sig.ELT) = struct
         if Label.equal la lb then [ a ] else if Side.incoming_wins tie.Side.value then [ a ] else []
       | Insert _ | Delete _ | Relabel _ -> [ a ])
 
+  (* Adjacent rewriting at exactly equal paths: inserting a node and
+     immediately deleting it cancels (the delete removes the whole
+     just-inserted subtree); a relabel directly after an insert of the same
+     node folds into the inserted label; consecutive relabels of one node
+     keep only the last.  Path equality is exact — prefix/sibling relations
+     are positional and therefore state-dependent. *)
+  let compact ops =
+    let rec sweep changed acc = function
+      | Insert (p, _) :: Delete q :: rest when p = q -> sweep true acc rest
+      | Insert (p, n) :: Relabel (q, l) :: rest when p = q ->
+        sweep true acc (Insert (p, { n with label = l }) :: rest)
+      | Relabel (p, _) :: Relabel (q, l) :: rest when p = q ->
+        sweep true acc (Relabel (p, l) :: rest)
+      | op :: rest -> sweep changed (op :: acc) rest
+      | [] -> (changed, List.rev acc)
+    in
+    let rec fix ops =
+      match sweep false [] ops with
+      | false, ops -> ops
+      | true, ops -> fix ops
+    in
+    match ops with [] | [ _ ] -> ops | _ -> fix ops
+
+  let commutes _ _ = false
+
   let rec equal_node a b = Label.equal a.label b.label && List.equal equal_node a.children b.children
   let equal_state = List.equal equal_node
 

@@ -23,6 +23,9 @@ module Max_register = struct
   let type_name = "max-register"
   let apply s (Raise_to n) = max s n
   let transform a ~against:_ ~tie:_ = [ a ]
+
+  (* identity compaction / no commute hint: the sound defaults *)
+  include Sm_ot.Op_sig.Default
   let equal_state = Int.equal
   let pp_state = Format.pp_print_int
   let pp_op ppf (Raise_to n) = Format.fprintf ppf "raise_to(%d)" n
