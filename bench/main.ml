@@ -16,6 +16,7 @@
      dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
      dune exec bench/main.exe journal [--gate]  # journal compaction payoff on MergeAll
      dune exec bench/main.exe micro           # bechamel component microbenches
+     dune exec bench/main.exe fuzz            # sm-fuzz seeds/second (CI budget sizing)
 
    Flags (after the subcommand):
      --json         write BENCH_<name>.json (per-series n/mean/stddev/median/p95)
@@ -696,6 +697,45 @@ let journal_bench () =
     (if ok then "ok" else "FAILED");
   ok
 
+(* --- fuzz: seeds/second through the fuzzer's stages -------------------------- *)
+
+(* Sizes the CI smoke and nightly tiers: seeds/second tells you what
+   `--seeds N` budget fits a wall-clock budget.  Three stages, cumulative —
+   generation alone, plus the cooperative reference run, plus the full
+   oracle battery (the per-seed cost of `sm-fuzz run`). *)
+let fuzz_bench () =
+  section "fuzz: seeds/second through generation, execution, oracles";
+  let profile = Sm_fuzz.Program.det_profile in
+  let depth = 3 in
+  let stage label seeds f =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to seeds do
+      f (Int64.of_int i)
+    done;
+    let s = Unix.gettimeofday () -. t0 in
+    let per = s /. float_of_int seeds *. 1e3 in
+    record (Printf.sprintf "fuzz/%s" label) per;
+    Format.printf "%-24s %6d seeds %9.2f ms/seed %10.0f seeds/s@." label seeds per
+      (float_of_int seeds /. s)
+  in
+  stage "generate" 500 (fun seed ->
+      ignore (Sm_fuzz.Fuzzer.program_of_seed ~seed ~depth ~profile));
+  let keys = Sm_fuzz.Interp.Keyset.default () in
+  stage "generate+coop-run" 200 (fun seed ->
+      let p = Sm_fuzz.Fuzzer.program_of_seed ~seed ~depth ~profile in
+      ignore
+        (Sm_core.Runtime.Coop.run (fun ctx ->
+             Sm_fuzz.Interp.run keys p ctx;
+             Sm_mergeable.Workspace.digest (Sm_core.Runtime.workspace ctx))));
+  Sm_fuzz.Oracle.with_env (fun env ->
+      stage "full-oracle-check" 25 (fun seed ->
+          let p = Sm_fuzz.Fuzzer.program_of_seed ~seed ~depth ~profile in
+          match Sm_fuzz.Oracle.check ~runs:2 env p with
+          | Ok () -> ()
+          | Error f ->
+            Format.printf "seed %Ld FAILED [%s] %s@." seed f.Sm_fuzz.Oracle.oracle
+              f.Sm_fuzz.Oracle.detail))
+
 (* --- driver ----------------------------------------------------------------- *)
 
 let () =
@@ -768,6 +808,7 @@ let () =
     finish "journal";
     if has "--gate" && not ok then exit 1
   | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
+  | _ :: "fuzz" :: _ -> fuzz_bench (); finish "fuzz"
   | _ :: "all" :: _ | [ _ ] ->
     fig1 ();
     fig2 ();
@@ -780,11 +821,12 @@ let () =
     topology_bench ();
     semaphore_bench ();
     ignore (journal_bench ());
+    fuzz_bench ();
     micro ~quick:true ();
     Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@.";
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|micro|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|micro|fuzz|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

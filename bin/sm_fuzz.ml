@@ -1,0 +1,275 @@
+(* sm-fuzz — deterministic whole-program fuzzer for the Spawn/Merge runtime.
+
+     sm-fuzz run --seeds 100 --depth 3            # fuzz generated spawn trees
+     sm-fuzz run --faults validate,abort,sync,clone,any   # widen the step vocabulary
+     sm-fuzz run --mutate tie-bias                # seeded bug: expect failures (exit 1)
+     sm-fuzz run --target net                     # Netpipe fault-plane conservation laws
+     sm-fuzz run --target dist                    # coordinator chaos invariance
+     sm-fuzz replay --seed 0x2a                   # reproduce one seed's report exactly
+     sm-fuzz replay --program failure.smp         # re-check a shrunk artifact
+     sm-fuzz corpus --run                         # pinned seeds keep their outcomes
+
+   Every failure prints a replayable report: the seed and config reproduce
+   the run bit-for-bit, and the embedded shrunk program replays directly
+   with --program.  Exit codes: 0 clean, 1 failures found (or a corpus /
+   replay mismatch), 2 usage. *)
+
+module F = Sm_fuzz
+module Program = F.Program
+module Oracle = F.Oracle
+module Fuzzer = F.Fuzzer
+
+let die fmt = Format.kasprintf (fun msg -> prerr_endline ("sm-fuzz: " ^ msg); exit 2) fmt
+
+let parse_profile s =
+  match s with
+  | "det" -> Program.det_profile
+  | "full" -> Program.full_profile
+  | s -> (
+    match Program.profile_of_string s with
+    | Some p -> p
+    | None ->
+      die "bad --faults %S (a comma list of validate,abort,sync,clone,any — or det, full, none)" s)
+
+let parse_mutate = function
+  | None -> None
+  | Some m -> (
+    match Sm_check.Mutate.of_string m with
+    | Some k -> Some k
+    | None ->
+      die "unknown mutation %S (have: %s)" m
+        (String.concat ", " (List.map Sm_check.Mutate.to_string Sm_check.Mutate.all)))
+
+let write_report dir (r : Fuzzer.report) =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (Printf.sprintf "seed-0x%Lx.report" r.seed) in
+  let oc = open_out path in
+  output_string oc (Fuzzer.report_to_string r);
+  close_out oc;
+  path
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir =
+  Oracle.with_env (fun env ->
+      let progress ~seed = function
+        | Fuzzer.Passed -> ()
+        | Fuzzer.Failed r ->
+          Format.printf "seed 0x%Lx: FAIL [%s] %s@." seed r.Fuzzer.failure.Oracle.oracle
+            r.Fuzzer.failure.Oracle.detail;
+          Format.printf "  shrunk %d -> %d steps%s@." (Program.size r.Fuzzer.program)
+            (Program.size r.Fuzzer.shrunk)
+            (match report_dir with
+            | None -> ""
+            | Some dir -> Printf.sprintf " (report: %s)" (write_report dir r))
+      in
+      let summary =
+        Fuzzer.run_seeds ?mutate ~runs ~progress env ~seed_base ~seeds ~depth ~profile ()
+      in
+      let nfail = List.length summary.Fuzzer.failed in
+      Format.printf "%d seed%s (base 0x%Lx, depth %d, faults %s%s): %d failure%s@." seeds
+        (if seeds = 1 then "" else "s")
+        seed_base depth
+        (Program.profile_to_string profile)
+        (match mutate with
+        | None -> ""
+        | Some k -> ", mutate " ^ Sm_check.Mutate.to_string k)
+        nfail
+        (if nfail = 1 then "" else "s");
+      (match (report_dir, summary.Fuzzer.failed) with
+      | Some dir, _ :: _ -> Format.printf "reports in %s/@." dir
+      | _ -> ());
+      if nfail > 0 then exit 1)
+
+let run_net ~seeds ~seed_base =
+  let failures = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add seed_base (Int64.of_int i) in
+    List.iter
+      (fun (label, faults) ->
+        match F.Net_target.check_deterministic ~faults ~seed () with
+        | Ok () -> ()
+        | Error detail ->
+          incr failures;
+          Format.printf "seed 0x%Lx (%s): FAIL %s@." seed label detail)
+      [ ("no faults", F.Net_target.no_faults); ("faulty", F.Net_target.default_faults) ]
+  done;
+  Format.printf "net target: %d seed%s, %d failure%s@." seeds
+    (if seeds = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1
+
+let run_dist ~seeds ~seed_base =
+  let failures = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add seed_base (Int64.of_int i) in
+    match F.Dist_target.check ~seed () with
+    | Ok _ -> ()
+    | Error detail ->
+      incr failures;
+      Format.printf "seed 0x%Lx: FAIL %s@." seed detail
+  done;
+  Format.printf "dist target: %d seed%s, %d failure%s@." seeds
+    (if seeds = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1
+
+let run target seeds seed_base depth faults mutate runs report_dir =
+  let profile = parse_profile faults in
+  let mutate = parse_mutate mutate in
+  match target with
+  | "spawn" -> run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir
+  | "net" -> run_net ~seeds ~seed_base
+  | "dist" -> run_dist ~seeds ~seed_base
+  | t -> die "unknown target %S (have: spawn, net, dist)" t
+
+(* --- replay ----------------------------------------------------------------- *)
+
+let replay seed program_file depth faults mutate runs =
+  let profile = parse_profile faults in
+  let mutate = parse_mutate mutate in
+  match (seed, program_file) with
+  | None, None -> die "replay needs --seed or --program"
+  | Some _, Some _ -> die "replay takes --seed or --program, not both"
+  | Some seed, None ->
+    Oracle.with_env (fun env ->
+        match Fuzzer.fuzz_one ?mutate ~runs env ~seed ~depth ~profile () with
+        | Fuzzer.Passed ->
+          Format.printf "seed 0x%Lx: all oracles pass (depth %d, faults %s)@." seed depth
+            (Program.profile_to_string profile)
+        | Fuzzer.Failed r ->
+          print_string (Fuzzer.report_to_string r);
+          exit 1)
+  | None, Some file ->
+    let text =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error e -> die "cannot read %s: %s" file e
+    in
+    let program = try Program.of_string text with Invalid_argument e -> die "%s" e in
+    Oracle.with_env (fun env ->
+        match Oracle.check ?mutate ~runs env program with
+        | Ok () -> Format.printf "%s: all oracles pass@." file
+        | Error f ->
+          Format.printf "%s: FAIL %a@." file Oracle.pp_failure f;
+          exit 1)
+
+(* --- corpus ----------------------------------------------------------------- *)
+
+let corpus list_only run_entries =
+  let entries = F.Corpus.all in
+  if list_only || not run_entries then
+    List.iter
+      (fun (e : F.Corpus.entry) ->
+        Format.printf "%-24s seed 0x%Lx depth %d faults %s mutate %s expect %s@." e.name e.seed
+          e.depth
+          (Program.profile_to_string e.profile)
+          (match e.mutate with None -> "none" | Some k -> Sm_check.Mutate.to_string k)
+          (Option.value e.expect ~default:"pass"))
+      entries
+  else
+    Oracle.with_env (fun env ->
+        let failed = ref 0 in
+        List.iter
+          (fun (e : F.Corpus.entry) ->
+            match F.Corpus.check env e with
+            | Ok _ -> Format.printf "%-24s ok@." e.name
+            | Error msg ->
+              incr failed;
+              Format.printf "%-24s MISMATCH %s@." e.name msg)
+          entries;
+        Format.printf "%d corpus entr%s, %d mismatch%s@." (List.length entries)
+          (if List.length entries = 1 then "y" else "ies")
+          !failed
+          (if !failed = 1 then "" else "es");
+        if !failed > 0 then exit 1)
+
+(* --- cmdliner ---------------------------------------------------------------- *)
+
+open Cmdliner
+
+let seed_conv =
+  let parse s =
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "not a seed: %S (decimal or 0x hex)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Format.fprintf ppf "0x%Lx" v)
+
+let depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "depth" ] ~docv:"D" ~doc:"Generator depth: scripts per program and steps per script scale with it.")
+
+let faults_arg =
+  Arg.(
+    value & opt string "det"
+    & info [ "faults" ] ~docv:"LIST"
+        ~doc:"Fault vocabulary for generated programs: comma list of validate, abort, sync, \
+              clone, any — or the presets det (default: validate,abort,sync) and full.")
+
+let mutate_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "mutate" ] ~docv:"KIND"
+        ~doc:"Seed a transform bug (tie-bias, identity, drop-last, reverse) into every \
+              mergeable type; the differential oracle must catch it, so expect exit 1.")
+
+let runs_arg =
+  Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Repetitions for the determinism oracle.")
+
+let run_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"How many consecutive seeds to fuzz.")
+  in
+  let seed_base_arg =
+    Arg.(value & opt seed_conv 1L & info [ "seed-base" ] ~docv:"S" ~doc:"First seed.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt string "spawn"
+      & info [ "target" ] ~docv:"T"
+          ~doc:"What to fuzz: spawn (generated spawn-tree programs), net (Netpipe fault plane), \
+                dist (coordinator under message chaos).")
+  in
+  let report_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report-dir" ] ~docv:"DIR" ~doc:"Write each failure report to DIR/seed-S.report.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Fuzz N seeds against every applicable oracle, shrinking failures.")
+    Term.(
+      const run $ target_arg $ seeds_arg $ seed_base_arg $ depth_arg $ faults_arg $ mutate_arg
+      $ runs_arg $ report_dir_arg)
+
+let replay_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt (some seed_conv) None
+      & info [ "seed" ] ~docv:"S" ~doc:"Reproduce this seed's run (same --depth/--faults/--mutate as the original).")
+  in
+  let program_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "program" ] ~docv:"FILE" ~doc:"Re-check a program artifact instead of a seed.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Reproduce a failure byte-for-byte from its seed, or re-check a shrunk program file.")
+    Term.(const replay $ seed_arg $ program_arg $ depth_arg $ faults_arg $ mutate_arg $ runs_arg)
+
+let corpus_cmd =
+  let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List corpus entries (default).") in
+  let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Re-check every entry's pinned outcome.") in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List or re-check the pinned seed corpus.")
+    Term.(const corpus $ list_arg $ run_arg)
+
+let () =
+  let info =
+    Cmd.info "sm-fuzz" ~version:"%%VERSION%%"
+      ~doc:"Deterministic spawn-tree fuzzer with fault injection for Spawn/Merge."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; replay_cmd; corpus_cmd ]))

@@ -27,17 +27,32 @@ let describe = function
   | Drop_last -> "silently drop the last op of every transform result"
   | Reverse -> "reverse multi-op transform results (split deletes land out of order)"
 
+let mutate_transform kind transform a ~against ~tie =
+  match kind with
+  | Tie_bias -> transform a ~against ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming)
+  | Identity -> [ a ]
+  | Drop_last -> (
+    match List.rev (transform a ~against ~tie) with [] -> [] | _ :: tl -> List.rev tl)
+  | Reverse -> List.rev (transform a ~against ~tie)
+
 let wrap kind (module E : Enum.S) : (module Enum.S) =
   (module struct
     include E
 
     let name = E.name ^ "+" ^ to_string kind
+    let transform = mutate_transform kind E.transform
+  end)
 
-    let transform a ~against ~tie =
-      match kind with
-      | Tie_bias -> E.transform a ~against ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming)
-      | Identity -> [ a ]
-      | Drop_last -> (
-        match List.rev (E.transform a ~against ~tie) with [] -> [] | _ :: tl -> List.rev tl)
-      | Reverse -> List.rev (E.transform a ~against ~tie)
+let wrap_data (type s o) kind
+    (module D : Sm_mergeable.Data.S with type state = s and type op = o) :
+    (module Sm_mergeable.Data.S with type state = s and type op = o) =
+  (module struct
+    include D
+
+    let transform = mutate_transform kind D.transform
+
+    (* A [commutes] hint promises transform-identity in both directions —
+       a promise the mutated transform no longer keeps, and the control
+       algorithm's fast paths would silently mask the bug.  Disable it. *)
+    let commutes _ _ = false
   end)

@@ -21,3 +21,12 @@ val describe : kind -> string
 val wrap : kind -> (module Enum.S) -> (module Enum.S)
 (** The same enumeration instance with the mutated [transform] and
     ["name+mutation"] as its name. *)
+
+val wrap_data :
+  kind ->
+  (module Sm_mergeable.Data.S with type state = 's and type op = 'o) ->
+  (module Sm_mergeable.Data.S with type state = 's and type op = 'o)
+(** The same mergeable data module with the mutated [transform].  The
+    [type_name] is deliberately unchanged so workspace digests of mutated
+    and clean runs stay comparable — what the whole-program fuzzer
+    ([Sm_fuzz]) relies on for its differential oracle. *)

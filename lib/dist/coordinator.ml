@@ -12,9 +12,33 @@ let h_buffer_depth = Obs.Metrics.histogram "dist.buffer_depth"
 let coord_task = "coordinator"
 let coord_tid = Wire.obs_coordinator_tid
 
+module Chaos = struct
+  type t =
+    { hold_prob : float
+    ; max_hold : int
+    ; rng : Sm_util.Det_rng.t
+    ; mu : Mutex.t
+    }
+
+  let make ?(hold_prob = 0.25) ?(max_hold = 4) ~seed () =
+    if hold_prob < 0. || hold_prob > 1. then
+      invalid_arg "Coordinator.Chaos.make: hold_prob must be in [0, 1]";
+    if max_hold < 1 then invalid_arg "Coordinator.Chaos.make: max_hold must be at least 1";
+    { hold_prob; max_hold; rng = Sm_util.Det_rng.create ~seed; mu = Mutex.create () }
+
+  let draw t =
+    Mutex.lock t.mu;
+    let r = Sm_util.Det_rng.float t.rng in
+    let hold = 1 + Sm_util.Det_rng.int t.rng ~bound:t.max_hold in
+    Mutex.unlock t.mu;
+    (r, hold)
+end
+
 type cluster =
   { registry : Registry.t
-  ; upstream : string Sm_util.Bqueue.t
+  ; upstream : string Sm_util.Bqueue.t  (** what the coordinator reads *)
+  ; node_inbox : string Sm_util.Bqueue.t  (** what nodes write; [== upstream] without chaos *)
+  ; relay : Thread.t option
   ; nodes : Node.t array
   ; next_uid : int Atomic.t
   ; next_node : int Atomic.t
@@ -22,12 +46,90 @@ type cluster =
 
 exception Remote_failure of string
 
-let cluster ?(nodes = 2) registry =
+(* The chaos relay: pump [inner] into [out], randomly parking a task's
+   messages for a few ticks.  Once a uid is held, its subsequent messages
+   queue behind the held ones — per-task order is preserved, only cross-task
+   interleaving changes, which is exactly the non-determinism the
+   coordinator's per-task buffering must absorb. *)
+let relay_loop (chaos : Chaos.t) ~inner ~out =
+  let held : (int, string Queue.t * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let release uid =
+    match Hashtbl.find_opt held uid with
+    | None -> ()
+    | Some (q, _) ->
+      Queue.iter (Sm_util.Bqueue.push out) q;
+      Hashtbl.remove held uid
+  in
+  let tick () =
+    let ready =
+      Hashtbl.fold
+        (fun uid (_, left) acc ->
+          decr left;
+          if !left <= 0 then uid :: acc else acc)
+        held []
+    in
+    List.iter release (List.sort compare ready)
+  in
+  let flush_all () =
+    let uids = Hashtbl.fold (fun uid _ acc -> uid :: acc) held [] in
+    List.iter release (List.sort compare uids)
+  in
+  let forward bytes =
+    let uid = try Wire.uid_of_up (C.decode Wire.up_codec bytes) with _ -> -1 in
+    match Hashtbl.find_opt held uid with
+    | Some (q, _) -> Queue.push bytes q
+    | None ->
+      let r, hold = Chaos.draw chaos in
+      if uid >= 0 && r < chaos.hold_prob then begin
+        let q = Queue.create () in
+        Queue.push bytes q;
+        Hashtbl.add held uid (q, ref hold)
+      end
+      else Sm_util.Bqueue.push out bytes
+  in
+  let rec loop () =
+    match Sm_util.Bqueue.try_pop inner with
+    | Some bytes ->
+      forward bytes;
+      tick ();
+      loop ()
+    | None ->
+      if Hashtbl.length held > 0 then begin
+        (* nothing inbound but messages are parked: tick them out on a
+           timer so a quiet channel cannot deadlock the coordinator *)
+        Thread.delay 0.0005;
+        tick ();
+        loop ()
+      end
+      else begin
+        match Sm_util.Bqueue.pop inner with
+        | Some bytes ->
+          forward bytes;
+          tick ();
+          loop ()
+        | None ->
+          (* inner closed and drained: shutdown *)
+          flush_all ();
+          Sm_util.Bqueue.close out
+      end
+  in
+  loop ()
+
+let cluster ?(nodes = 2) ?chaos registry =
   if nodes < 1 then invalid_arg "Coordinator.cluster: need at least one node";
   let upstream = Sm_util.Bqueue.create () in
+  let node_inbox, relay =
+    match chaos with
+    | None -> (upstream, None)
+    | Some ch ->
+      let inner = Sm_util.Bqueue.create () in
+      (inner, Some (Thread.create (fun () -> relay_loop ch ~inner ~out:upstream) ()))
+  in
   { registry
   ; upstream
-  ; nodes = Array.init nodes (fun rank -> Node.start ~rank ~registry ~upstream)
+  ; node_inbox
+  ; relay
+  ; nodes = Array.init nodes (fun rank -> Node.start ~rank ~registry ~upstream:node_inbox)
   ; next_uid = Atomic.make 0
   ; next_node = Atomic.make 0
   }
@@ -40,7 +142,12 @@ let send_down cluster rank msg =
 let shutdown cluster =
   Array.iter (fun node -> send_down cluster (Node.rank node) Wire.Stop) cluster.nodes;
   Array.iter Node.join cluster.nodes;
-  Sm_util.Bqueue.close cluster.upstream
+  match cluster.relay with
+  | None -> Sm_util.Bqueue.close cluster.upstream
+  | Some t ->
+    (* the relay flushes held messages and closes [upstream] itself *)
+    Sm_util.Bqueue.close cluster.node_inbox;
+    Thread.join t
 
 type child_state =
   | Live

@@ -20,9 +20,31 @@
 
 type cluster
 
-val cluster : ?nodes:int -> Registry.t -> cluster
+(** Message-timing chaos for the upstream (node → coordinator) channel.
+
+    A seeded relay that randomly {e holds} a remote task's messages and
+    releases them later, preserving each task's own message order — the
+    channel equivalent of permuting task completion order.  Because
+    deterministic merges buffer early arrivals per task and process them in
+    creation order, a [merge_all]-only program must digest identically with
+    chaos on or off, at any hold probability: that is the property the
+    fuzzer's distributed target asserts.  (Lossy faults — drop, duplicate —
+    would violate the reliable-channel assumption the wire protocol is
+    built on and are exercised at the {!Sm_sim.Netpipe} layer instead.) *)
+module Chaos : sig
+  type t
+
+  val make : ?hold_prob:float -> ?max_hold:int -> seed:int64 -> unit -> t
+  (** [hold_prob] (default 0.25) is the per-message probability of being
+      held; a held task releases after 1..[max_hold] (default 4) relay
+      ticks.  @raise Invalid_argument on a probability outside [\[0, 1\]] or
+      [max_hold < 1]. *)
+end
+
+val cluster : ?nodes:int -> ?chaos:Chaos.t -> Registry.t -> cluster
 (** Launch [nodes] (default 2) worker nodes.  The cluster may serve many
-    {!run}s before {!shutdown}. *)
+    {!run}s before {!shutdown}.  With [chaos], upstream messages pass
+    through the chaos relay. *)
 
 val node_count : cluster -> int
 

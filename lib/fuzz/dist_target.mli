@@ -1,0 +1,21 @@
+(** The distributed fault target: fuzz the {!Sm_dist.Coordinator} /
+    {!Sm_dist.Node} path under message-timing chaos.
+
+    A seeded scenario spawns a random mix of registered remote tasks
+    (counter adds, list appends, register assigns, multi-round sync loops)
+    over a random node count, merges deterministically, and digests the
+    coordinator's workspace.  The oracle is chaos invariance: the digest
+    must be identical with the upstream chaos relay
+    ({!Sm_dist.Coordinator.Chaos}) off, on, and on again with a different
+    chaos seed — [merge_all]'s per-task buffering makes message timing
+    unobservable, which is precisely the paper's determinism claim
+    transported to the distributed runtime. *)
+
+val digest : ?chaos_seed:int64 -> seed:int64 -> unit -> string
+(** Run the scenario once on a fresh cluster (with the chaos relay when
+    [chaos_seed] is given) and return the final workspace digest. *)
+
+val check : seed:int64 -> unit -> (string, string) result
+(** Three runs — no chaos, chaos, chaos with another seed — and compare.
+    [Ok digest] on agreement, [Error detail] naming the diverging pair
+    otherwise. *)

@@ -1,0 +1,75 @@
+module Rng = Sm_util.Det_rng
+
+type report =
+  { seed : int64
+  ; depth : int
+  ; profile : Program.profile
+  ; mutate : Sm_check.Mutate.kind option
+  ; failure : Oracle.failure
+  ; program : Program.t
+  ; shrunk : Program.t
+  ; shrink_steps : int
+  }
+
+type outcome =
+  | Passed
+  | Failed of report
+
+let program_of_seed ~seed ~depth ~profile =
+  Program.generate (Rng.create ~seed) ~depth ~profile
+
+let fuzz_one ?mutate ?runs env ~seed ~depth ~profile () =
+  let program = program_of_seed ~seed ~depth ~profile in
+  match Oracle.check ?mutate ?runs env program with
+  | Ok () -> Passed
+  | Error failure ->
+    let focus = failure.Oracle.oracle in
+    (* Shrink against the *failing* oracle only: one oracle per candidate
+       keeps shrinking fast, and requiring the same oracle name means the
+       minimized program witnesses the original bug, not a new one. *)
+    let fails scripts =
+      match
+        Oracle.check ~focus ?mutate ~runs:2 env { Program.scripts = Array.of_list scripts }
+      with
+      | Error f -> f.Oracle.oracle = focus
+      | Ok () -> false
+      | exception _ -> false
+    in
+    let shrunk, shrink_steps =
+      Sm_check.Shrink.minimize ~fails ~shrink_elt:Program.shrink_step
+        (Array.to_list program.Program.scripts)
+    in
+    let shrunk = { Program.scripts = Array.of_list shrunk } in
+    Failed { seed; depth; profile; mutate; failure; program; shrunk; shrink_steps }
+
+let mutate_name = function None -> "none" | Some k -> Sm_check.Mutate.to_string k
+
+let pp_report ppf r =
+  Format.fprintf ppf "sm-fuzz failure report v1@.";
+  Format.fprintf ppf "seed: 0x%Lx@." r.seed;
+  Format.fprintf ppf "depth: %d@." r.depth;
+  Format.fprintf ppf "profile: %s@." (Program.profile_to_string r.profile);
+  Format.fprintf ppf "mutate: %s@." (mutate_name r.mutate);
+  Format.fprintf ppf "oracle: %s@." r.failure.Oracle.oracle;
+  Format.fprintf ppf "detail: %s@." r.failure.Oracle.detail;
+  Format.fprintf ppf "steps: %d -> %d (%d shrink moves)@." (Program.size r.program)
+    (Program.size r.shrunk) r.shrink_steps;
+  Format.fprintf ppf "-- shrunk program --@.";
+  Program.pp ppf r.shrunk
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+type summary =
+  { seeds : int
+  ; failed : report list
+  }
+
+let run_seeds ?mutate ?runs ?progress env ~seed_base ~seeds ~depth ~profile () =
+  let failed = ref [] in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add seed_base (Int64.of_int i) in
+    let outcome = fuzz_one ?mutate ?runs env ~seed ~depth ~profile () in
+    (match outcome with Passed -> () | Failed r -> failed := r :: !failed);
+    match progress with None -> () | Some f -> f ~seed outcome
+  done;
+  { seeds; failed = List.rev !failed }

@@ -1,0 +1,67 @@
+(** The fuzz loop: seed → program → oracles → shrink → replayable report.
+
+    Everything here is a pure function of its parameters: {!program_of_seed}
+    derives the program from the seed alone, the oracles are deterministic,
+    and shrinking is greedy first-improvement over a deterministic candidate
+    order — so {!fuzz_one} on the same inputs produces the same outcome, and
+    a failure report replays byte-for-byte from its header
+    ([sm-fuzz replay --seed S] asserts exactly that). *)
+
+type report =
+  { seed : int64
+  ; depth : int
+  ; profile : Program.profile
+  ; mutate : Sm_check.Mutate.kind option
+  ; failure : Oracle.failure  (** the original program's first failure *)
+  ; program : Program.t  (** as generated *)
+  ; shrunk : Program.t  (** minimized, still failing [failure.oracle] *)
+  ; shrink_steps : int  (** accepted shrink moves *)
+  }
+
+type outcome =
+  | Passed
+  | Failed of report
+
+val program_of_seed : seed:int64 -> depth:int -> profile:Program.profile -> Program.t
+(** The program seed [seed] denotes: a fresh {!Sm_util.Det_rng} fed to
+    {!Program.generate}. *)
+
+val fuzz_one :
+  ?mutate:Sm_check.Mutate.kind ->
+  ?runs:int ->
+  Oracle.env ->
+  seed:int64 ->
+  depth:int ->
+  profile:Program.profile ->
+  unit ->
+  outcome
+(** Generate, check every oracle, and on failure shrink with
+    {!Sm_check.Shrink.minimize} focused on the failing oracle (candidates
+    that fail a {e different} oracle are rejected, so the report's program
+    still witnesses the original failure). *)
+
+val report_to_string : report -> string
+(** The canonical replay artifact: a deterministic text header
+    (seed/depth/profile/mutate/oracle/detail/sizes) followed by the shrunk
+    program in {!Program.to_string} form. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+type summary =
+  { seeds : int
+  ; failed : report list  (** failing seeds in run order *)
+  }
+
+val run_seeds :
+  ?mutate:Sm_check.Mutate.kind ->
+  ?runs:int ->
+  ?progress:(seed:int64 -> outcome -> unit) ->
+  Oracle.env ->
+  seed_base:int64 ->
+  seeds:int ->
+  depth:int ->
+  profile:Program.profile ->
+  unit ->
+  summary
+(** Fuzz seeds [seed_base .. seed_base + seeds - 1] sequentially (the
+    shared executors in {!Oracle.env} are not reentrant). *)

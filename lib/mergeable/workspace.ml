@@ -227,10 +227,13 @@ let digest t =
   if Sanitizer_hook.active () then Sanitizer_hook.emit (Sanitizer_hook.Digested { ws_id = t.uid });
   let h =
     Imap.fold
-      (fun id (P (k, c)) acc ->
+      (fun _id (P (k, c)) acc ->
         let module D = (val k.data) in
+        (* no [id] here: the creation id is a process-global mint counter, so
+           including it would make digests of same-named keysets (clean vs
+           mutated — the fuzzer's differential oracle) incomparable *)
         let cell_repr =
-          Format.asprintf "%d:%s:%s:%a" id D.type_name k.name D.pp_state c.state
+          Format.asprintf "%s:%s:%a" D.type_name k.name D.pp_state c.state
         in
         Sm_util.Fnv.combine acc (Sm_util.Fnv.hash cell_repr))
       t.cells (Sm_util.Fnv.hash "workspace")

@@ -75,6 +75,60 @@ let rng_shuffle_permutes =
       let rng = U.Det_rng.create ~seed:1L in
       List.sort compare (U.Det_rng.shuffle rng xs) = List.sort compare xs)
 
+(* Golden stream values: the exact outputs of the generator, pinned so a
+   change to the xoshiro/SplitMix64 implementation (or a platform with
+   different integer semantics) cannot silently re-seed the whole fuzzer —
+   every sm-fuzz seed and corpus entry depends on these streams. *)
+let rng_golden_stream () =
+  let a = U.Det_rng.create ~seed:0xDEADBEEFL in
+  Alcotest.(check (list int64))
+    "int64 stream, seed 0xDEADBEEF"
+    [ 0xc5555444a74d7e83L
+    ; 0x65c30d37b4b16e38L
+    ; 0x54f773200a4efa23L
+    ; 0x429aed75fb958af7L
+    ; 0xfb0e1dd69c255b2eL
+    ; 0x9d6d02ec58814a27L
+    ]
+    (List.init 6 (fun _ -> U.Det_rng.int64 a));
+  let b = U.Det_rng.create ~seed:1L in
+  Alcotest.(check (list int))
+    "bounded stream, seed 1"
+    [ 78; 61; 50; 91; 85; 81; 43; 14; 60; 4; 20; 55 ]
+    (List.init 12 (fun _ -> U.Det_rng.int b ~bound:100));
+  let c = U.Det_rng.create ~seed:7L in
+  let d = U.Det_rng.split c in
+  Alcotest.(check (list int64))
+    "split stream, seed 7"
+    [ 0x214c58958ca2a8a5L; 0x84a76abe9e4119dcL; 0xd9dd03480cc8f2e4L; 0x6aa8bb77bb77649cL ]
+    (List.init 4 (fun _ -> U.Det_rng.int64 d))
+
+(* Chi-square uniformity sanity over 16 buckets: with 10000 draws the
+   statistic (df = 15) should sit well inside [2.6, 37.7] — the 0.9999 and
+   0.001 tails.  Not a PRNG certification, just a tripwire against a broken
+   bound reduction (e.g. modulo bias or a stuck high bit). *)
+let rng_chi_square () =
+  let buckets = 16 in
+  let draws = 10_000 in
+  let rng = U.Det_rng.create ~seed:123L in
+  let counts = Array.make buckets 0 in
+  for _ = 1 to draws do
+    let i = U.Det_rng.int rng ~bound:buckets in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int buckets in
+  let chi2 =
+    Array.fold_left
+      (fun acc n ->
+        let d = float_of_int n -. expected in
+        acc +. ((d *. d) /. expected))
+      0. counts
+  in
+  check_bool
+    (Printf.sprintf "chi-square %.1f not suspiciously large (df 15)" chi2)
+    (chi2 < 37.7);
+  check_bool (Printf.sprintf "chi-square %.1f not suspiciously uniform" chi2) (chi2 > 2.6)
+
 let stats_basics () =
   let s = U.Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
   Alcotest.(check int) "n" 4 s.n;
@@ -208,6 +262,8 @@ let suite =
   ; Alcotest.test_case "rng: split independence" `Quick rng_split_independent
   ; rng_bounds
   ; rng_shuffle_permutes
+  ; Alcotest.test_case "rng: golden stream values" `Quick rng_golden_stream
+  ; Alcotest.test_case "rng: chi-square uniformity" `Quick rng_chi_square
   ; Alcotest.test_case "stats: summary" `Quick stats_basics
   ; Alcotest.test_case "stats: single element" `Quick stats_single_element
   ; Alcotest.test_case "stats: percentile boundaries" `Quick stats_percentile_bounds
