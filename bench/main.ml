@@ -15,6 +15,7 @@
      dune exec bench/main.exe topology        # network shapes (full/ring/star/grid)
      dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
      dune exec bench/main.exe journal [--gate]  # journal compaction payoff on MergeAll
+     dune exec bench/main.exe service [--gate]  # shard service: delta sync vs snapshots
      dune exec bench/main.exe micro           # bechamel component microbenches
      dune exec bench/main.exe fuzz            # sm-fuzz seeds/second (CI budget sizing)
 
@@ -697,6 +698,111 @@ let journal_bench () =
     (if ok then "ok" else "FAILED");
   ok
 
+(* --- service: the shard service under an editor fleet ----------------------- *)
+
+(* One module-level document set for every service run in this process: the
+   registry must be minted at a single construction site (wire ids are
+   registration indices), and runs under a live Runtime would otherwise trip
+   DetSan's key-minting hazard.  32 documents spread the 1000-editor fleet the
+   way a real deployment would — per-document contention, not one hotspot —
+   and each text document starts with ~1 KB of content, as served documents
+   do: snapshot cost is dominated by existing state, delta cost by the edits. *)
+let service_seed_text =
+  String.concat ""
+    (List.init 16 (fun k ->
+         Printf.sprintf "line %02d: the quick brown fox jumps over the lazy dog.\n" k))
+
+let service_specs =
+  List.init 32 (fun i ->
+      if i mod 8 = 7 then `Tree (Printf.sprintf "doc/tree%02d" i, [])
+      else `Text (Printf.sprintf "doc/text%02d" i, service_seed_text))
+
+let service_docs = lazy (Sm_shard.Service.make_docs service_specs)
+
+(* The paper-style service gate: a 4-shard deployment under 1000 editors with
+   50-op sessions must (a) converge on every replica, (b) ship deltas at most
+   20% the bytes a snapshot-per-reply protocol ships for the same final
+   digests, and (c) be seed-reproducible — byte-identical per-shard digests
+   across the threaded and cooperative executors.  Returns whether every gate
+   held; the driver turns that into the exit code after writing the JSON. *)
+let service_bench () =
+  section "service: 4-shard deployment, 1000 editors x 50-op sessions (delta vs snapshot sync)";
+  let module Load = Sm_shard.Load in
+  let docs = Lazy.force service_docs in
+  let profile =
+    { Load.default with
+      Load.seed = 42L
+    ; shards = 4
+    ; clients = 1000
+    ; ops_per_client = 50
+    ; specs = service_specs
+    }
+  in
+  let module M = Sm_obs.Metrics in
+  let saved_m = M.is_enabled () in
+  M.set_enabled true;
+  M.reset ();
+  Fun.protect ~finally:(fun () -> M.set_enabled saved_m)
+  @@ fun () ->
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  (* Same seed under each executor: the tick loop never consults the
+     scheduler, so the digests must be byte-identical — that is the
+     cross-executor reproducibility the determinism claim rests on. *)
+  let delta_thr, dt_ms =
+    time (fun () ->
+        Sm_core.Runtime.run ~executor:(Lazy.force executor) (fun _ -> Load.run ~docs profile))
+  in
+  (* p95 merge latency per shard, from the first (measured) run only *)
+  let merge_p95 =
+    List.init profile.Load.shards (fun k ->
+        Option.value ~default:nan
+          (M.percentile (M.histogram (Printf.sprintf "shard%d.merge_ns" k)) ~p:95.0))
+  in
+  let delta_coop, dc_ms =
+    time (fun () -> Sm_core.Runtime.Coop.run (fun _ -> Load.run ~docs profile))
+  in
+  let snap, s_ms = time (fun () -> Load.run ~docs { profile with Load.mode = `Snapshot }) in
+  let ratio =
+    float_of_int delta_thr.Load.delta_bytes /. float_of_int (max 1 snap.Load.snapshot_bytes)
+  in
+  Format.printf "%-34s %14s %12s %10s %8s@." "run" "sync bytes" "epochs" "ticks" "wall";
+  let row label bytes (r : Load.report) ms =
+    Format.printf "%-34s %14d %12d %10d %6.0fms@." label bytes r.Load.epochs r.Load.ticks ms
+  in
+  row "delta (threaded executor)" delta_thr.Load.delta_bytes delta_thr dt_ms;
+  row "delta (cooperative executor)" delta_coop.Load.delta_bytes delta_coop dc_ms;
+  row "snapshot (plain)" snap.Load.snapshot_bytes snap s_ms;
+  Format.printf "@.p95 merge latency per shard:";
+  List.iteri (fun k p -> Format.printf "  shard%d %.1f us" k (p /. 1e3)) merge_p95;
+  Format.printf "@.delta/snapshot byte ratio: %.1f%%  (%d / %d bytes)@." (ratio *. 100.0)
+    delta_thr.Load.delta_bytes snap.Load.snapshot_bytes;
+  record "service/delta_bytes" (float_of_int delta_thr.Load.delta_bytes);
+  record "service/snapshot_bytes" (float_of_int snap.Load.snapshot_bytes);
+  record "service/byte_ratio" ratio;
+  record "service/delta_wall" dt_ms;
+  record "service/snapshot_wall" s_ms;
+  List.iteri (fun k p -> record (Printf.sprintf "service/shard%d_merge_p95_ns" k) p) merge_p95;
+  let converged =
+    delta_thr.Load.converged && delta_coop.Load.converged && snap.Load.converged
+  in
+  let reproducible =
+    delta_thr.Load.shard_digests = delta_coop.Load.shard_digests
+    && delta_thr.Load.ticks = delta_coop.Load.ticks
+  in
+  let same_state = delta_thr.Load.shard_digests = snap.Load.shard_digests in
+  let compact = ratio <= 0.20 in
+  let verdict ok = if ok then "ok" else "FAILED" in
+  Format.printf "@.gates:@.";
+  Format.printf "  every replica converged:                 %s@." (verdict converged);
+  Format.printf "  digests reproducible across executors:   %s@." (verdict reproducible);
+  Format.printf "  snapshot mode reaches the same digests:  %s@." (verdict same_state);
+  Format.printf "  delta <= 20%% of snapshot bytes:          %s@." (verdict compact);
+  converged && reproducible && same_state && compact
+
 (* --- fuzz: seeds/second through the fuzzer's stages -------------------------- *)
 
 (* Sizes the CI smoke and nightly tiers: seeds/second tells you what
@@ -807,6 +913,10 @@ let () =
     let ok = journal_bench () in
     finish "journal";
     if has "--gate" && not ok then exit 1
+  | _ :: "service" :: _ ->
+    let ok = service_bench () in
+    finish "service";
+    if has "--gate" && not ok then exit 1
   | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
   | _ :: "fuzz" :: _ -> fuzz_bench (); finish "fuzz"
   | _ :: "all" :: _ | [ _ ] ->
@@ -827,6 +937,6 @@ let () =
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|micro|fuzz|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|micro|fuzz|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

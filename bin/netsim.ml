@@ -13,20 +13,42 @@ type impl =
   | Spawnmerge
   | Coop
   | Conventional
+  | Dist
 
-let run_once ~impl ~executor cfg =
+let run_once ~impl ~executor ~nodes ~chaos cfg =
   match impl with
   | Spawnmerge -> Sm_sim.Sim_spawnmerge.run ~executor cfg
   | Coop -> Sm_sim.Sim_spawnmerge.run_cooperative cfg
   | Conventional -> Sm_sim.Sim_conventional.run cfg
+  | Dist -> Sm_sim.Sim_dist.run ~nodes ?chaos cfg
 
-let main hosts messages ttl load impl mode topology seed runs per_host =
+let main hosts messages ttl load impl mode topology seed runs per_host nodes drop dup delay
+    reorder =
   let cfg = { W.hosts; messages; ttl; load; mode; topology; seed } in
   (match W.validate cfg with
   | () -> ()
   | exception Invalid_argument msg ->
     prerr_endline msg;
     exit 2);
+  if (drop > 0. || dup > 0.) && impl = Dist then begin
+    prerr_endline
+      "netsim: the coordinator protocol assumes reliable channels — drop/dup would violate \
+       it, not test it.  Its chaos relay only delays and reorders (--delay/--reorder); the \
+       lossy fault plane lives in Netpipe: try `sm-shard demo --drop ...`.";
+    exit 2
+  end;
+  if (drop > 0. || dup > 0. || delay > 0. || reorder > 0.) && impl <> Dist then begin
+    prerr_endline "netsim: fault flags only apply to --impl dist";
+    exit 2
+  end;
+  let chaos =
+    if delay > 0. || reorder > 0. then
+      Some
+        (Sm_dist.Coordinator.Chaos.make ~hold_prob:(delay +. reorder)
+           ~max_hold:(if delay > 0. then 4 else 1)
+           ~seed:(Int64.logxor seed 0x6368616f73L) ())
+    else None
+  in
   let executor = Sm_core.Executor.create () in
   Format.printf "%d hosts, %d messages, ttl %d, load %d, %s destinations, seed %Ld (%s)@."
     hosts messages ttl load
@@ -35,10 +57,12 @@ let main hosts messages ttl load impl mode topology seed runs per_host =
     (match impl with
     | Spawnmerge -> "spawn/merge"
     | Coop -> "spawn/merge, cooperative scheduler"
-    | Conventional -> "conventional threads+locks");
+    | Conventional -> "conventional threads+locks"
+    | Dist -> Printf.sprintf "spawn/merge, distributed on %d nodes%s" nodes
+                (if chaos <> None then " + chaos relay" else ""));
   Format.printf "%-5s %-12s %-8s %-18s %-18s@." "run" "time" "hops" "event digest" "order digest";
   for i = 1 to runs do
-    let r = run_once ~impl ~executor cfg in
+    let r = run_once ~impl ~executor ~nodes ~chaos cfg in
     Format.printf "%-5d %9.1f ms %-8d %-18s %-18s@." i (r.W.elapsed_s *. 1000.0) r.W.hops
       r.W.event_digest r.W.order_digest;
     if per_host && i = runs then begin
@@ -49,6 +73,7 @@ let main hosts messages ttl load impl mode topology seed runs per_host =
   (match impl with
   | Spawnmerge | Coop ->
     Format.printf "(%d merge cycles in the last run)@." (Sm_sim.Sim_spawnmerge.cycles_of_last_run ())
+  | Dist -> Format.printf "(%d rounds in the last run)@." (Sm_sim.Sim_dist.rounds_of_last_run ())
   | Conventional -> ());
   Sm_core.Executor.shutdown executor
 
@@ -70,12 +95,20 @@ let load =
 
 let impl =
   let variants =
-    Arg.enum [ ("spawnmerge", Spawnmerge); ("coop", Coop); ("conventional", Conventional) ]
+    Arg.enum
+      [ ("spawnmerge", Spawnmerge)
+      ; ("coop", Coop)
+      ; ("conventional", Conventional)
+      ; ("dist", Dist)
+      ]
   in
   Arg.(
     value
     & opt variants Spawnmerge
-    & info [ "impl" ] ~docv:"IMPL" ~doc:"Implementation: $(b,spawnmerge), $(b,coop) (single-threaded effects scheduler), or $(b,conventional).")
+    & info [ "impl" ] ~docv:"IMPL"
+        ~doc:
+          "Implementation: $(b,spawnmerge), $(b,coop) (single-threaded effects scheduler), \
+           $(b,conventional), or $(b,dist) (remote tasks on coordinator worker nodes).")
 
 let mode =
   let variants = Arg.enum [ ("hash", W.Hash_destination); ("ring", W.Ring_destination) ] in
@@ -106,6 +139,25 @@ let runs = Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc:"Repeat the s
 let per_host =
   Arg.(value & flag & info [ "per-host" ] ~doc:"Print per-host hop counts for the last run.")
 
+let nodes =
+  Arg.(
+    value & opt int 2 & info [ "nodes" ] ~docv:"N" ~doc:"Worker nodes for $(b,--impl dist).")
+
+let fault name doc = Arg.(value & opt float 0. & info [ name ] ~docv:"P" ~doc)
+
+let drop = fault "drop" "Rejected for $(b,--impl dist): coordinator channels are reliable."
+let dup = fault "dup" "Rejected for $(b,--impl dist): coordinator channels are reliable."
+
+let delay =
+  fault "delay"
+    "Per-message probability that the chaos relay holds an upstream message across 1-4 relay \
+     ticks ($(b,--impl dist) only).  Digests must not change."
+
+let reorder =
+  fault "reorder"
+    "Per-message probability of an adjacent swap in the chaos relay ($(b,--impl dist) only).  \
+     Digests must not change."
+
 let cmd =
   let doc = "the paper's network simulation, under either synchronization regime" in
   let man =
@@ -119,6 +171,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "netsim" ~version:"1.0" ~doc ~man)
-    Term.(const main $ hosts $ messages $ ttl $ load $ impl $ mode $ topology $ seed $ runs $ per_host)
+    Term.(
+      const main $ hosts $ messages $ ttl $ load $ impl $ mode $ topology $ seed $ runs
+      $ per_host $ nodes $ drop $ dup $ delay $ reorder)
 
 let () = exit (Cmd.eval cmd)

@@ -5,6 +5,7 @@
      sm-fuzz run --mutate tie-bias                # seeded bug: expect failures (exit 1)
      sm-fuzz run --target net                     # Netpipe fault-plane conservation laws
      sm-fuzz run --target dist                    # coordinator chaos invariance
+     sm-fuzz run --target shard                   # editor fleets: digest convergence under chaos
      sm-fuzz replay --seed 0x2a                   # reproduce one seed's report exactly
      sm-fuzz replay --program failure.smp         # re-check a shrunk artifact
      sm-fuzz corpus --run                         # pinned seeds keep their outcomes
@@ -116,6 +117,26 @@ let run_dist ~seeds ~seed_base =
     (if !failures = 1 then "" else "s");
   if !failures > 0 then exit 1
 
+let run_shard ~seeds ~seed_base =
+  let failures = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = Int64.add seed_base (Int64.of_int i) in
+    match F.Shard_target.fuzz_one ~seed () with
+    | F.Shard_target.Passed _ -> ()
+    | F.Shard_target.Failed { detail; scenario; shrunk; shrink_steps } ->
+      incr failures;
+      Format.printf "seed 0x%Lx: FAIL %s@.  scenario: %s@.  shrunk (%d step%s): %s@." seed detail
+        (F.Shard_target.scenario_to_string scenario)
+        shrink_steps
+        (if shrink_steps = 1 then "" else "s")
+        (F.Shard_target.scenario_to_string shrunk)
+  done;
+  Format.printf "shard target: %d seed%s, %d failure%s@." seeds
+    (if seeds = 1 then "" else "s")
+    !failures
+    (if !failures = 1 then "" else "s");
+  if !failures > 0 then exit 1
+
 let run target seeds seed_base depth faults mutate runs report_dir =
   let profile = parse_profile faults in
   let mutate = parse_mutate mutate in
@@ -123,7 +144,8 @@ let run target seeds seed_base depth faults mutate runs report_dir =
   | "spawn" -> run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir
   | "net" -> run_net ~seeds ~seed_base
   | "dist" -> run_dist ~seeds ~seed_base
-  | t -> die "unknown target %S (have: spawn, net, dist)" t
+  | "shard" -> run_shard ~seeds ~seed_base
+  | t -> die "unknown target %S (have: spawn, net, dist, shard)" t
 
 (* --- replay ----------------------------------------------------------------- *)
 
@@ -231,6 +253,7 @@ let run_cmd =
       value & opt string "spawn"
       & info [ "target" ] ~docv:"T"
           ~doc:"What to fuzz: spawn (generated spawn-tree programs), net (Netpipe fault plane), \
+                shard (sharded document service: convergence under chaos), \
                 dist (coordinator under message chaos).")
   in
   let report_dir_arg =

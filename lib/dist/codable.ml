@@ -119,6 +119,64 @@ module Make_queue (Elt : CODABLE_ELT) = struct
         | t -> raise (C.Decode_error (Printf.sprintf "Queue op: unknown tag %d" t)))
 end
 
+module Make_tree (Label : CODABLE_ELT) = struct
+  module Op = Sm_ot.Op_tree.Make (Label)
+  include Op
+
+  let type_name = "tree"
+
+  let node_codec =
+    (* Recursive structure: encode a node as its label, child count, then the
+       children — a preorder walk.  [tagged] gives us a writer/reader pair to
+       recurse with; the tag itself is constant. *)
+    C.tagged
+      ~tag:(fun (_ : Op.node) -> 0)
+      ~write:(fun buf n ->
+        let rec write_node n =
+          C.W.value Label.codec buf n.Op.label;
+          C.W.int buf (List.length n.Op.children);
+          List.iter write_node n.Op.children
+        in
+        write_node n)
+      ~read:(fun tag r ->
+        if tag <> 0 then raise (C.Decode_error (Printf.sprintf "Tree node: unknown tag %d" tag));
+        let rec read_node () =
+          let label = C.R.value Label.codec r in
+          let n = C.R.int r in
+          if n < 0 then raise (C.Decode_error "Tree node: negative child count");
+          let children = List.init n (fun _ -> read_node ()) in
+          { Op.label; children }
+        in
+        read_node ())
+
+  let state_codec = C.list node_codec
+  let path_codec = C.list C.int
+
+  let op_codec =
+    C.tagged
+      ~tag:(function Op.Insert _ -> 0 | Op.Delete _ -> 1 | Op.Relabel _ -> 2)
+      ~write:(fun buf -> function
+        | Op.Insert (p, n) ->
+          C.W.value path_codec buf p;
+          C.W.value node_codec buf n
+        | Op.Delete p -> C.W.value path_codec buf p
+        | Op.Relabel (p, l) ->
+          C.W.value path_codec buf p;
+          C.W.value Label.codec buf l)
+      ~read:(fun tag r ->
+        match tag with
+        | 0 ->
+          let p = C.R.value path_codec r in
+          let n = C.R.value node_codec r in
+          Op.Insert (p, n)
+        | 1 -> Op.Delete (C.R.value path_codec r)
+        | 2 ->
+          let p = C.R.value path_codec r in
+          let l = C.R.value Label.codec r in
+          Op.Relabel (p, l)
+        | t -> raise (C.Decode_error (Printf.sprintf "Tree op: unknown tag %d" t)))
+end
+
 module Make_register (V : CODABLE_ELT) = struct
   module Op = Sm_ot.Op_register.Make (V)
   include Op

@@ -75,7 +75,7 @@ let relay_loop (chaos : Chaos.t) ~inner ~out =
     List.iter release (List.sort compare uids)
   in
   let forward bytes =
-    let uid = try Wire.uid_of_up (C.decode Wire.up_codec bytes) with _ -> -1 in
+    let uid = try Wire.uid_of_up (C.decode Wire.up_codec (Wire.open_control bytes)) with _ -> -1 in
     match Hashtbl.find_opt held uid with
     | Some (q, _) -> Queue.push bytes q
     | None ->
@@ -137,7 +137,9 @@ let cluster ?(nodes = 2) ?chaos registry =
 let node_count cluster = Array.length cluster.nodes
 
 let send_down cluster rank msg =
-  Sm_util.Bqueue.push (Node.downstream cluster.nodes.(rank)) (C.encode Wire.down_codec msg)
+  Sm_util.Bqueue.push
+    (Node.downstream cluster.nodes.(rank))
+    (Wire.seal_control (C.encode Wire.down_codec msg))
 
 let shutdown cluster =
   Array.iter (fun node -> send_down cluster (Node.rank node) Wire.Stop) cluster.nodes;
@@ -204,8 +206,10 @@ let spawn ctx ?node task ~argument =
   child
 
 let decode_up bytes =
-  try C.decode Wire.up_codec bytes
-  with C.Decode_error msg -> raise (Remote_failure ("corrupt upstream message: " ^ msg))
+  match C.decode Wire.up_codec (Wire.open_control bytes) with
+  | up -> up
+  | exception C.Decode_error msg -> raise (Remote_failure ("corrupt upstream message: " ^ msg))
+  | exception Wire.Frame.Bad_frame msg -> raise (Remote_failure ("rejected frame: " ^ msg))
 
 (* Pull upstream until an event for [uid] is available; buffer strangers in
    arrival order. *)

@@ -25,7 +25,7 @@ let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot (
          ~args:[ ("rank", E.I rank); ("task", E.S task) ]
          E.Task_start);
   let ws = ref (Registry.build_workspace registry snapshot) in
-  let send up = Sm_util.Bqueue.push upstream (C.encode Wire.up_codec up) in
+  let send up = Sm_util.Bqueue.push upstream (Wire.seal_control (C.encode Wire.up_codec up)) in
   let do_sync () =
     if Obs.on Obs.Debug then Obs.emit (E.make ~task:obs_task ~task_id:obs_tid E.Sync_begin);
     send (Wire.Sync_request { uid; journal = Registry.encode_journal registry !ws });
@@ -68,7 +68,7 @@ let node_loop ~rank ~registry ~upstream ~down () =
     match Sm_util.Bqueue.pop down with
     | None -> List.iter Thread.join threads (* channel closed: abandon ship *)
     | Some bytes -> (
-      match C.decode Wire.down_codec bytes with
+      match C.decode Wire.down_codec (Wire.open_control bytes) with
       | Wire.Spawn { uid; task; argument; snapshot } ->
         let mailbox = Sm_util.Bqueue.create () in
         Hashtbl.replace mailboxes uid mailbox;

@@ -84,6 +84,56 @@ val merge_journal :
 (** Decode a remote journal and OT-merge it into [into] against [base] —
     the distributed counterpart of {!Sm_mergeable.Workspace.merge_child}. *)
 
+(** {1 Delta sync (used by {!Sm_shard})}
+
+    Shard sync addresses values by per-wire-id integer revisions (a value's
+    revision is its {!Sm_mergeable.Workspace.version_of}), not by the
+    workspace-keyed {!Sm_mergeable.Workspace.Versions.t} the coordinator
+    protocol uses — clients only ever see wire ids. *)
+
+val revisions : t -> Sm_mergeable.Workspace.t -> (int * int) list
+(** [(wire_id, revision)] for every registered-and-bound value. *)
+
+val encode_delta :
+  ?memo:(int * int * int, string) Hashtbl.t ->
+  t ->
+  Sm_mergeable.Workspace.t ->
+  since:(int -> int) ->
+  (int * int * int * string) list
+(** [(wire_id, from_rev, to_rev, ops_bytes)] for every bound value that has
+    operations after [since wire_id]; the shipped ops are the {e compacted}
+    journal suffix (apply-equivalent to the raw slice, usually shorter).
+    [memo] caches encoded suffixes by [(wire_id, from_rev, to_rev)] — within
+    one epoch a shard answers many sessions whose cursors sit at the same
+    boundary, and the suffix only depends on the revision window, so the
+    caller may share a table across replies and invalidate it when the
+    workspace advances (keys embed [to_rev], so staleness is impossible —
+    the table is cleared only to bound its size).
+    @raise Invalid_argument when [since] predates a truncation point — the
+    caller must fall back to a snapshot. *)
+
+val apply_delta :
+  t ->
+  into:Sm_mergeable.Workspace.t ->
+  cursor:(int -> int) ->
+  (int * int * int * string) list ->
+  unit
+(** Replay delta entries onto a replica that has seen [cursor wire_id]
+    revisions of each value.  Entries with [to_rev <= cursor] are duplicates
+    and are skipped; an entry starting past the cursor is a protocol-level
+    gap ([Invalid_argument]) — stop-and-wait sessions never produce one.
+    The caller advances its cursors to each applied entry's [to_rev]. *)
+
+val merge_edit :
+  t ->
+  into:Sm_mergeable.Workspace.t ->
+  base_rev:(int -> int) ->
+  (int * string) list ->
+  unit
+(** OT-merge a client's pending operations, recorded against revision
+    [base_rev wire_id] of each value, into the shard's authoritative
+    workspace — {!merge_journal} with integer bases. *)
+
 val find_task : t -> string -> ctx -> unit
 (** @raise Not_found for unregistered task names. *)
 

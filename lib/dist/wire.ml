@@ -1,5 +1,73 @@
 module C = Sm_util.Codec
 
+(* --- framing ---------------------------------------------------------------- *)
+
+module Frame = struct
+  exception Bad_frame of string
+
+  type kind =
+    | Control
+    | Delta
+    | Snapshot
+
+  let magic = "SM"
+  let version = 1
+
+  let kind_to_string = function Control -> "control" | Delta -> "delta" | Snapshot -> "snapshot"
+  let kind_tag = function Control -> 0 | Delta -> 1 | Snapshot -> 2
+
+  let kind_of_tag = function
+    | 0 -> Control
+    | 1 -> Delta
+    | 2 -> Snapshot
+    | t -> raise (Bad_frame (Printf.sprintf "unknown frame kind %d" t))
+
+  let header_len = 2 + 2 + 1 + 4 (* magic + u16 version + kind + u32 length *)
+
+  let seal kind payload =
+    let n = String.length payload in
+    if n > 0xFFFF_FFFF then invalid_arg "Wire.Frame.seal: payload too large";
+    let b = Bytes.create (header_len + n) in
+    Bytes.blit_string magic 0 b 0 2;
+    Bytes.set_uint16_be b 2 version;
+    Bytes.set_uint8 b 4 (kind_tag kind);
+    Bytes.set_int32_be b 5 (Int32.of_int n);
+    Bytes.blit_string payload 0 b header_len n;
+    Bytes.unsafe_to_string b
+
+  let open_ frame =
+    let len = String.length frame in
+    if len < header_len then
+      raise (Bad_frame (Printf.sprintf "short frame: %d bytes (< %d-byte header)" len header_len));
+    if String.sub frame 0 2 <> magic then
+      raise
+        (Bad_frame
+           (Printf.sprintf "bad magic %S: not a Spawn/Merge frame" (String.sub frame 0 2)));
+    let v = String.get_uint16_be frame 2 in
+    if v <> version then
+      raise
+        (Bad_frame
+           (Printf.sprintf "unsupported frame version %d (this build speaks version %d)" v version));
+    let kind = kind_of_tag (String.get_uint8 frame 4) in
+    let n = Int32.to_int (String.get_int32_be frame 5) land 0xFFFF_FFFF in
+    if len - header_len <> n then
+      raise
+        (Bad_frame
+           (Printf.sprintf "frame length mismatch: header says %d payload bytes, got %d" n
+              (len - header_len)));
+    (kind, String.sub frame header_len n)
+end
+
+let seal_control payload = Frame.seal Frame.Control payload
+
+let open_control frame =
+  match Frame.open_ frame with
+  | Frame.Control, payload -> payload
+  | k, _ ->
+    raise
+      (Frame.Bad_frame
+         (Printf.sprintf "expected a control frame, got a %s frame" (Frame.kind_to_string k)))
+
 type entries = (int * string) list
 
 type down =

@@ -4,6 +4,42 @@
     snapshots and journals are [(wire_id, bytes)] association lists whose
     payloads were themselves encoded by the registry's per-value codecs. *)
 
+(** Length-prefixed, versioned frames.  Every message on a channel is
+    [seal]ed before send and [open_]ed after receive, so the payload kind
+    (control message, delta journal, snapshot) is distinguishable on the
+    wire and a frame from an incompatible build is rejected with a clear
+    {!Frame.Bad_frame} instead of a deep decode exception. *)
+module Frame : sig
+  exception Bad_frame of string
+  (** Malformed header: wrong magic, unsupported version, unknown kind, or
+      payload length disagreeing with the header. *)
+
+  type kind =
+    | Control  (** coordinator/node protocol messages ({!down}/{!up}) *)
+    | Delta  (** compacted operation-journal suffixes (shard sync) *)
+    | Snapshot  (** full encoded states (shard fallback sync) *)
+
+  val version : int
+  (** The frame version this build speaks (u16 on the wire). *)
+
+  val kind_to_string : kind -> string
+
+  val seal : kind -> string -> string
+  (** Prefix [payload] with the 9-byte header: magic ["SM"], u16 version,
+      kind byte, u32 payload length. *)
+
+  val open_ : string -> kind * string
+  (** Strip and validate the header. @raise Bad_frame as described above. *)
+end
+
+val seal_control : string -> string
+(** [Frame.seal Control] — the coordinator/node link carries only control
+    frames. *)
+
+val open_control : string -> string
+(** Unwrap a frame that must be {!Frame.Control}.
+    @raise Frame.Bad_frame on malformed frames or any other kind. *)
+
 type entries = (int * string) list
 
 type down =

@@ -1,0 +1,142 @@
+module Load = Sm_shard.Load
+module Service = Sm_shard.Service
+module Rng = Sm_util.Det_rng
+
+(* Pre-minted document set, shared by every scenario in the process: the
+   cross-scheduler and Detsan checks run workloads under live observation,
+   and re-minting keys there would itself be the key-in-task hazard. *)
+let docs =
+  Service.make_docs
+    [ `Text ("fuzz/alpha", "alpha document\n")
+    ; `Text ("fuzz/beta", "")
+    ; `Tree ("fuzz/tree", Service.Tree.Op.[ branch "root" [ leaf "a"; leaf "b" ] ])
+    ; `Text ("fuzz/gamma", "gamma")
+    ]
+
+type scenario =
+  { shards : int
+  ; clients : int
+  ; ops : int
+  ; epoch_ticks : int
+  ; faults : Load.faults option
+  ; disconnect : float
+  }
+
+let fault_levels =
+  [ None
+  ; Some { Load.drop = 0.05; dup = 0.05; delay = 0.10; reorder = 0.10 }
+  ; Some { Load.drop = 0.15; dup = 0.10; delay = 0.15; reorder = 0.10 }
+  ]
+
+let scenario_of_seed seed =
+  let rng = Rng.create ~seed in
+  { shards = 1 + Rng.int rng ~bound:4
+  ; clients = 2 + Rng.int rng ~bound:10
+  ; ops = 5 + Rng.int rng ~bound:20
+  ; epoch_ticks = 1 + Rng.int rng ~bound:5
+  ; faults = Rng.pick rng fault_levels
+  ; disconnect = Rng.pick rng [ 0.; 0.; 0.01; 0.05 ]
+  }
+
+let scenario_to_string s =
+  Printf.sprintf "shards=%d clients=%d ops=%d epoch_ticks=%d faults=%s disconnect=%.2f" s.shards
+    s.clients s.ops s.epoch_ticks
+    (match s.faults with
+    | None -> "none"
+    | Some f -> Printf.sprintf "drop%.2f/dup%.2f/delay%.2f/reorder%.2f" f.drop f.dup f.delay f.reorder)
+    s.disconnect
+
+let profile_of ~seed s =
+  { Load.default with
+    seed
+  ; shards = s.shards
+  ; clients = s.clients
+  ; ops_per_client = s.ops
+  ; epoch_ticks = s.epoch_ticks
+  ; faults = s.faults
+  ; disconnect_prob = s.disconnect
+  ; max_ticks = 50_000
+  }
+
+(* The oracles, in order of blame precision:
+   1. convergence — every client view digest equals its shard's digest;
+   2. DetSan-clean — the run triggers no determinism hazards;
+   3. reproducibility — a second identical run matches digests and ticks;
+   4. mode invariance — a snapshot-mode run reaches the same digests
+      (delta journals and full snapshots describe the same states). *)
+let check_scenario ~seed s =
+  let profile = profile_of ~seed s in
+  let r1, hazards = Sm_check.Detsan.observe (fun () -> Load.run ~docs profile) in
+  if not r1.Load.converged then
+    Error
+      (Printf.sprintf "did not converge in %d ticks (%d ops placed of %d, %d batches merged%s)"
+         r1.Load.ticks r1.Load.ops_applied (s.clients * s.ops) r1.Load.edits_merged
+         (match r1.Load.failures with
+         | [] -> ""
+         | (who, why) :: _ -> Printf.sprintf "; %s: %s" who why))
+  else
+    match hazards with
+    | h :: _ -> Error (Format.asprintf "detsan: %a" Sm_check.Detsan.pp_hazard h)
+    | [] ->
+      let r2 = Load.run ~docs profile in
+      if r2.Load.shard_digests <> r1.Load.shard_digests then
+        Error "rerun with the same seed changed the shard digests"
+      else if r2.Load.ticks <> r1.Load.ticks then
+        Error
+          (Printf.sprintf "rerun with the same seed changed the tick count (%d vs %d)"
+             r1.Load.ticks r2.Load.ticks)
+      else
+        let snap = Load.run ~docs { profile with mode = `Snapshot } in
+        if snap.Load.shard_digests <> r1.Load.shard_digests then
+          Error "snapshot-mode run diverged from the delta-mode digests"
+        else
+          Ok (String.concat "," (List.map (fun d -> String.sub d 0 (min 8 (String.length d))) r1.Load.shard_digests))
+
+let check ~seed () = check_scenario ~seed (scenario_of_seed seed)
+
+(* Greedy first-improvement shrink over the scenario, mirroring
+   Sm_check.Shrink's discipline: deterministic candidate order, accept a
+   candidate only if it still fails (any oracle), repeat to fixpoint. *)
+let shrink_candidates s =
+  List.concat
+    [ (if s.clients > 2 then [ { s with clients = max 2 (s.clients / 2) }; { s with clients = s.clients - 1 } ] else [])
+    ; (if s.ops > 1 then [ { s with ops = max 1 (s.ops / 2) }; { s with ops = s.ops - 1 } ] else [])
+    ; (if s.shards > 1 then [ { s with shards = 1 } ] else [])
+    ; (if s.disconnect > 0. then [ { s with disconnect = 0. } ] else [])
+    ; (if s.faults <> None then [ { s with faults = None } ] else [])
+    ; (if s.epoch_ticks > 1 then [ { s with epoch_ticks = 1 } ] else [])
+    ]
+
+let shrink ~seed s =
+  let steps = ref 0 in
+  let rec go s =
+    let next =
+      List.find_opt
+        (fun c -> match check_scenario ~seed c with Error _ -> true | Ok _ -> false)
+        (shrink_candidates s)
+    in
+    match next with
+    | Some c ->
+      incr steps;
+      go c
+    | None -> s
+  in
+  let s' = go s in
+  (s', !steps)
+
+type outcome =
+  | Passed of string  (** digest summary *)
+  | Failed of
+      { detail : string
+      ; scenario : scenario
+      ; shrunk : scenario
+      ; shrink_steps : int
+      }
+
+let fuzz_one ~seed () =
+  let s = scenario_of_seed seed in
+  match check_scenario ~seed s with
+  | Ok digest -> Passed digest
+  | Error detail ->
+    let shrunk, shrink_steps = shrink ~seed s in
+    Failed { detail; scenario = s; shrunk; shrink_steps }

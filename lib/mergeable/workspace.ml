@@ -121,12 +121,35 @@ let update (type s o) t (k : (s, o) key) (op : o) =
     Sanitizer_hook.emit (Sanitizer_hook.Updated { ws_id = t.uid; key = k.name })
 
 let cell_version c = c.offset + Sm_util.Vec.length c.journal
+
+(* Like [update], but the journal is trimmed at the new head instead of
+   retaining the operation: the version still advances, and [journal_since]
+   afterwards answers only from the new head.  For replicas that apply
+   remote operations they will never re-ship — retaining them would make
+   every replica's memory grow with the full edit history. *)
+let update_trimming (type s o) t (k : (s, o) key) (op : o) =
+  let module D = (val k.data) in
+  let cell = get_cell t k in
+  cell.state <- D.apply cell.state op;
+  cell.offset <- cell_version cell + 1;
+  Sm_util.Vec.clear cell.journal;
+  if Sanitizer_hook.active () then
+    Sanitizer_hook.emit (Sanitizer_hook.Updated { ws_id = t.uid; key = k.name })
 let version_of t k = cell_version (get_cell t k)
 
 let key_names t = List.map (fun (_, P (k, _)) -> k.name) (Imap.bindings t.cells)
 
 let version_in versions k = Versions.find k.id versions
 let journal t k = Sm_util.Vec.to_list (get_cell t k).journal
+
+let journal_since t k ~version =
+  let c = get_cell t k in
+  if version < c.offset then
+    invalid_arg
+      (Printf.sprintf "Workspace.journal_since: journal of %S truncated past version %d (< %d)"
+         k.name version c.offset)
+  else if version >= cell_version c then []
+  else Sm_util.Vec.slice c.journal ~from:(version - c.offset)
 
 let snapshot t = Imap.map (fun (P (_, c)) -> cell_version c) t.cells
 
@@ -143,6 +166,14 @@ let clone_full t =
       Imap.map
         (fun (P (k, c)) ->
           P (k, { state = c.state; journal = Sm_util.Vec.copy c.journal; offset = c.offset }))
+        t.cells
+  }
+
+let clone_trimmed t =
+  { uid = Atomic.fetch_and_add next_ws_uid 1
+  ; cells =
+      Imap.map
+        (fun (P (k, c)) -> P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = cell_version c }))
         t.cells
   }
 

@@ -68,12 +68,27 @@ val update : t -> ('s, 'o) key -> 'o -> unit
     mergeable values must go through here — states themselves are
     persistent. *)
 
+val update_trimming : t -> ('s, 'o) key -> 'o -> unit
+(** Like {!update}, but trim the journal at the new head instead of
+    retaining the operation: the version still advances, and
+    {!journal_since} afterwards answers only from the new head.  For
+    replicas applying remote operations they will never re-ship —
+    journalling those would grow every replica with the full history. *)
+
 val version_of : t -> _ key -> int
 (** Total operations ever applied to this value in this workspace. *)
 
 val journal : t -> ('s, 'o) key -> 'o list
 (** The value's recorded operations (since creation, rebase, or the last
     truncation point) — what a merge would transmit. *)
+
+val journal_since : t -> ('s, 'o) key -> version:int -> 'o list
+(** The value's operations after [version] — the delta a replica that has
+    seen [version] operations still needs.  [\[\]] when the replica is
+    current ([version >= version_of]).
+    @raise Invalid_argument if [version] predates the truncation point
+    ({!truncate}) — the suffix is no longer available and the caller must
+    fall back to a snapshot. *)
 
 val key_names : t -> string list
 (** Names of bound keys, in deterministic (creation-id) order. *)
@@ -116,6 +131,14 @@ val clone_full : t -> t
     {!copy} (which starts a child at an empty journal), the clone carries
     the full history, so version bases recorded against the original remain
     meaningful — the substrate for transactional trial merges. *)
+
+val clone_trimmed : t -> t
+(** Like {!clone_full} with the journal truncated at the head: states are
+    shared (persistent), versions are preserved, and the journal starts
+    empty at the current version — O(values) regardless of history length.
+    The clone answers {!journal_since} only from the cloning point onward;
+    use it when past operations are not needed, e.g. for a replica's working
+    view whose pending-op suffix is all that is ever read back. *)
 
 val adopt : t -> from:t -> unit
 (** Replace this workspace's bindings with [from]'s (shared, not copied):

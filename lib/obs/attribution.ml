@@ -17,6 +17,10 @@ type row =
   ; merge_ns : int
   ; sync_waits : int
   ; sync_ns : int
+  ; epochs : int
+  ; epoch_edits : int
+  ; delta_bytes : int
+  ; snapshot_bytes : int
   ; self_ns : int
   ; span_ns : int
   }
@@ -40,6 +44,10 @@ let row_of_task (t : M.task) =
   ; merge_ns = M.merge_wait_ns t
   ; sync_waits = List.length t.M.syncs
   ; sync_ns = M.sync_wait_ns t
+  ; epochs = t.M.epochs
+  ; epoch_edits = t.M.epoch_edits
+  ; delta_bytes = t.M.delta_bytes
+  ; snapshot_bytes = t.M.snapshot_bytes
   ; self_ns = M.self_ns t
   ; span_ns = M.span_ns t
   }
@@ -64,6 +72,10 @@ let totals rows =
       ; merge_ns = acc.merge_ns + r.merge_ns
       ; sync_waits = acc.sync_waits + r.sync_waits
       ; sync_ns = acc.sync_ns + r.sync_ns
+      ; epochs = acc.epochs + r.epochs
+      ; epoch_edits = acc.epoch_edits + r.epoch_edits
+      ; delta_bytes = acc.delta_bytes + r.delta_bytes
+      ; snapshot_bytes = acc.snapshot_bytes + r.snapshot_bytes
       ; self_ns = acc.self_ns + r.self_ns
       ; span_ns = acc.span_ns + r.span_ns
       })
@@ -83,6 +95,10 @@ let totals rows =
     ; merge_ns = 0
     ; sync_waits = 0
     ; sync_ns = 0
+    ; epochs = 0
+    ; epoch_edits = 0
+    ; delta_bytes = 0
+    ; snapshot_bytes = 0
     ; self_ns = 0
     ; span_ns = 0
     }
@@ -102,6 +118,10 @@ let metric_view rows =
   ; ("runtime.spawns", t.spawns)
   ; ("runtime.syncs", t.sync_waits)
   ; ("runtime.validation_failures", t.validation_failed)
+  ; ("shard.epochs", t.epochs)
+  ; ("shard.epoch_edits", t.epoch_edits)
+  ; ("shard.delta_bytes", t.delta_bytes)
+  ; ("shard.snapshot_bytes", t.snapshot_bytes)
   ]
 
 let to_json rows =
@@ -123,6 +143,10 @@ let to_json rows =
       ; ("merge_ns", Json.Int r.merge_ns)
       ; ("sync_waits", Json.Int r.sync_waits)
       ; ("sync_ns", Json.Int r.sync_ns)
+      ; ("epochs", Json.Int r.epochs)
+      ; ("epoch_edits", Json.Int r.epoch_edits)
+      ; ("delta_bytes", Json.Int r.delta_bytes)
+      ; ("snapshot_bytes", Json.Int r.snapshot_bytes)
       ; ("self_ns", Json.Int r.self_ns)
       ; ("span_ns", Json.Int r.span_ns)
       ]
@@ -152,4 +176,11 @@ let pp ppf rows =
   if t.compact_in > 0 then
     Format.fprintf ppf "  %-32s %.2f (%d -> %d ops)@." "compaction ratio"
       (float_of_int t.compact_out /. float_of_int t.compact_in)
-      t.compact_in t.compact_out
+      t.compact_in t.compact_out;
+  if t.epochs > 0 then
+    Format.fprintf ppf "  %-32s %d epochs, %d edits folded@." "shard epochs" t.epochs
+      t.epoch_edits;
+  if t.snapshot_bytes > 0 && t.delta_bytes > 0 then
+    Format.fprintf ppf "  %-32s %.1f%% (%d of %d snapshot bytes)@." "delta/snapshot bytes"
+      (100. *. float_of_int t.delta_bytes /. float_of_int t.snapshot_bytes)
+      t.delta_bytes t.snapshot_bytes

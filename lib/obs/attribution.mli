@@ -26,6 +26,10 @@ type row =
   ; merge_ns : int  (** time blocked in merge-family calls *)
   ; sync_waits : int
   ; sync_ns : int  (** time blocked at sync points *)
+  ; epochs : int  (** shard epochs closed ([Epoch_end]) *)
+  ; epoch_edits : int  (** client edits folded across those epochs *)
+  ; delta_bytes : int  (** sync payload bytes shipped as deltas *)
+  ; snapshot_bytes : int  (** snapshot bytes, shipped or counterfactual *)
   ; self_ns : int
   ; span_ns : int
   }

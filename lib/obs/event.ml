@@ -21,6 +21,9 @@ type kind =
   | Phase_begin
   | Phase_end
   | Note
+  | Epoch_begin
+  | Epoch_end
+  | Delta_sync
 
 type t =
   { seq : int
@@ -72,10 +75,14 @@ let kind_to_string = function
   | Phase_begin -> "phase_begin"
   | Phase_end -> "phase_end"
   | Note -> "note"
+  | Epoch_begin -> "epoch_begin"
+  | Epoch_end -> "epoch_end"
+  | Delta_sync -> "delta_sync"
 
 let all_kinds =
   [ Task_start; Task_end; Spawn; Clone; Merge_begin; Merge_child; Merge_end; Sync_begin
-  ; Sync_end; Abort; Validation_fail; Phase_begin; Phase_end; Note
+  ; Sync_end; Abort; Validation_fail; Phase_begin; Phase_end; Note; Epoch_begin; Epoch_end
+  ; Delta_sync
   ]
 
 let kind_of_string s = List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
@@ -96,6 +103,9 @@ let kind_tag = function
   | Phase_begin -> 11
   | Phase_end -> 12
   | Note -> 13
+  | Epoch_begin -> 14
+  | Epoch_end -> 15
+  | Delta_sync -> 16
 
 let kind_of_tag = function
   | 0 -> Task_start
@@ -112,6 +122,9 @@ let kind_of_tag = function
   | 11 -> Phase_begin
   | 12 -> Phase_end
   | 13 -> Note
+  | 14 -> Epoch_begin
+  | 15 -> Epoch_end
+  | 16 -> Delta_sync
   | t -> raise (C.Decode_error (Printf.sprintf "Event.codec: unknown kind tag %d" t))
 
 let arg_codec : arg C.t =

@@ -46,6 +46,11 @@ type kind =
   | Phase_begin
   | Phase_end
   | Note
+  | Epoch_begin  (** a shard starts one batched transform pass *)
+  | Epoch_end  (** ...and finishes it; ["edits"], ["ops"] *)
+  | Delta_sync
+      (** a shard answered a sync: ["mode"] of ["delta"]/["snapshot"],
+          ["bytes"], and the counterfactual ["snapshot_bytes"] *)
 
 type t =
   { seq : int  (** process-wide emission number *)

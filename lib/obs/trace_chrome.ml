@@ -17,10 +17,13 @@ let opener = function
   | Event.Merge_end -> Some Event.Merge_begin
   | Event.Sync_end -> Some Event.Sync_begin
   | Event.Phase_end -> Some Event.Phase_begin
+  | Event.Epoch_end -> Some Event.Epoch_begin
   | _ -> None
 
 let is_opener = function
-  | Event.Task_start | Event.Merge_begin | Event.Sync_begin | Event.Phase_begin -> true
+  | Event.Task_start | Event.Merge_begin | Event.Sync_begin | Event.Phase_begin
+  | Event.Epoch_begin ->
+    true
   | _ -> false
 
 let str_arg name (e : Event.t) =
@@ -32,6 +35,7 @@ let span_name (e : Event.t) =
   | Event.Merge_begin -> "merge:" ^ Option.value ~default:"?" (str_arg "kind" e)
   | Event.Sync_begin -> "sync"
   | Event.Phase_begin -> Option.value ~default:"phase" (str_arg "name" e)
+  | Event.Epoch_begin -> "epoch"
   | k -> Event.kind_to_string k
 
 let args_json (e : Event.t) =

@@ -57,6 +57,10 @@ type task =
   ; mutable validation_fails : int
   ; mutable notes : int
   ; mutable phases : int
+  ; mutable epochs : int
+  ; mutable epoch_edits : int
+  ; mutable delta_bytes : int
+  ; mutable snapshot_bytes : int
   ; mutable first_ts : int
   ; mutable last_ts : int
   }
@@ -122,6 +126,10 @@ let find_or_create b ~name ~id ts =
       ; validation_fails = 0
       ; notes = 0
       ; phases = 0
+      ; epochs = 0
+      ; epoch_edits = 0
+      ; delta_bytes = 0
+      ; snapshot_bytes = 0
       ; first_ts = ts
       ; last_ts = ts
       }
@@ -235,7 +243,18 @@ let add_event b (e : Event.t) =
   | Event.Validation_fail -> t.validation_fails <- t.validation_fails + 1
   | Event.Note -> t.notes <- t.notes + 1
   | Event.Phase_begin -> t.phases <- t.phases + 1
-  | Event.Phase_end -> ());
+  | Event.Phase_end -> ()
+  | Event.Epoch_begin -> ()
+  | Event.Epoch_end ->
+    t.epochs <- t.epochs + 1;
+    t.epoch_edits <- t.epoch_edits + Option.value ~default:0 (int_arg "edits" e)
+  | Event.Delta_sync ->
+    let bytes = Option.value ~default:0 (int_arg "bytes" e) in
+    (match str_arg "mode" e with
+    | Some "delta" ->
+      t.delta_bytes <- t.delta_bytes + bytes;
+      t.snapshot_bytes <- t.snapshot_bytes + Option.value ~default:0 (int_arg "snapshot_bytes" e)
+    | _ -> t.snapshot_bytes <- t.snapshot_bytes + bytes));
   t.last_ts <- max t.last_ts e.ts_ns
 
 let finish b =

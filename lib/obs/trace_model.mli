@@ -73,6 +73,12 @@ type task =
   ; mutable validation_fails : int  (** as the merging parent *)
   ; mutable notes : int
   ; mutable phases : int
+  ; mutable epochs : int  (** [Epoch_end] events (shard transform passes) *)
+  ; mutable epoch_edits : int  (** client edits folded across those epochs *)
+  ; mutable delta_bytes : int  (** sync payload bytes shipped as deltas *)
+  ; mutable snapshot_bytes : int
+      (** snapshot payload bytes: shipped (snapshot mode) or counterfactual
+          (what a delta sync {e would} have cost as a snapshot) *)
   ; mutable first_ts : int
   ; mutable last_ts : int
   }

@@ -16,12 +16,20 @@ let apply s op =
   | Ins (pos, t) ->
     if pos < 0 || pos > n then
       invalid_arg (Printf.sprintf "Op_text.apply: ins position %d out of range (len %d)" pos n);
-    String.sub s 0 pos ^ t ^ String.sub s pos (n - pos)
+    let tl = String.length t in
+    let b = Bytes.create (n + tl) in
+    Bytes.blit_string s 0 b 0 pos;
+    Bytes.blit_string t 0 b pos tl;
+    Bytes.blit_string s pos b (pos + tl) (n - pos);
+    Bytes.unsafe_to_string b
   | Del (pos, len) ->
     if len <= 0 then invalid_arg "Op_text.apply: non-positive delete length";
     if pos < 0 || pos + len > n then
       invalid_arg (Printf.sprintf "Op_text.apply: del range [%d,%d) out of range (len %d)" pos (pos + len) n);
-    String.sub s 0 pos ^ String.sub s (pos + len) (n - pos - len)
+    let b = Bytes.create (n - len) in
+    Bytes.blit_string s 0 b 0 pos;
+    Bytes.blit_string s (pos + len) b pos (n - pos - len);
+    Bytes.unsafe_to_string b
 
 let transform a ~against:b ~tie =
   match a, b with

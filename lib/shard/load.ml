@@ -1,0 +1,213 @@
+module Rng = Sm_util.Det_rng
+module Netpipe = Sm_sim.Netpipe
+
+type faults =
+  { drop : float
+  ; dup : float
+  ; delay : float
+  ; reorder : float
+  }
+
+type profile =
+  { seed : int64
+  ; shards : int
+  ; clients : int
+  ; specs : Service.spec list
+  ; ops_per_client : int
+  ; think_max : int
+  ; burst_max : int
+  ; ins_bias : float
+  ; mode : Server.mode
+  ; epoch_ticks : int
+  ; faults : faults option
+  ; disconnect_prob : float
+  ; resume_after : int
+  ; max_ticks : int
+  }
+
+let default_specs =
+  [ `Text ("doc/readme", "# shared notes\n")
+  ; `Text ("doc/todo", "todo:\n")
+  ; `Tree ("doc/outline", [])
+  ; `Text ("doc/scratch", "")
+  ]
+
+let default =
+  { seed = 1L
+  ; shards = 2
+  ; clients = 8
+  ; specs = default_specs
+  ; ops_per_client = 20
+  ; think_max = 3
+  ; burst_max = 4
+  ; ins_bias = 0.7
+  ; mode = `Delta
+  ; epoch_ticks = 4
+  ; faults = None
+  ; disconnect_prob = 0.
+  ; resume_after = 12
+  ; max_ticks = 200_000
+  }
+
+type report =
+  { converged : bool
+  ; shard_digests : string list
+  ; ticks : int
+  ; ops_applied : int
+  ; edits_merged : int
+  ; epochs : int
+  ; delta_bytes : int
+  ; snapshot_bytes : int
+  ; retransmits : int
+  ; resumes : int
+  ; failures : (string * string) list
+  }
+
+type actor =
+  { name : string
+  ; client : Client.t
+  ; rng : Rng.t
+  ; shard : int
+  ; mutable remaining : int
+  ; mutable think : int
+  ; mutable resume_at : int  (* tick to reconnect at; -1 while connected *)
+  ; mutable polled : bool  (* sent the drain-phase catch-up poll *)
+  }
+
+let run ?docs profile =
+  if profile.clients < 0 then invalid_arg "Load.run: clients must be non-negative";
+  if profile.ops_per_client < 0 then invalid_arg "Load.run: ops_per_client must be non-negative";
+  if profile.burst_max <= 0 then invalid_arg "Load.run: burst_max must be positive";
+  let docs =
+    match docs with
+    | Some d -> d
+    | None -> Service.make_docs profile.specs
+  in
+  let svc =
+    Service.create docs ~shards:profile.shards ~mode:profile.mode
+      ~epoch_ticks:profile.epoch_ticks
+  in
+  (match profile.faults with
+  | None -> ()
+  | Some f ->
+    Netpipe.set_faults
+      (Some
+         (Netpipe.Faults.make ~drop:f.drop ~dup:f.dup ~delay:f.delay ~reorder:f.reorder
+            ~seed:(Int64.logxor profile.seed 0x6e657470697065L) ())));
+  Fun.protect ~finally:(fun () -> if profile.faults <> None then Netpipe.set_faults None)
+  @@ fun () ->
+  let master = Rng.create ~seed:profile.seed in
+  let actors =
+    Array.init profile.clients (fun i ->
+        let shard = i mod profile.shards in
+        let rng = Rng.split master in
+        let name = Printf.sprintf "client%d" i in
+        let client =
+          Client.connect ~reg:(Service.registry docs) ~name
+            ~init:(Service.client_init svc ~shard)
+            (Service.listener svc shard)
+        in
+        { name
+        ; client
+        ; rng
+        ; shard
+        ; remaining = profile.ops_per_client
+        ; think = (if profile.think_max > 0 then Rng.int rng ~bound:(profile.think_max + 1) else 0)
+        ; resume_at = -1
+        ; polled = false
+        })
+  in
+  let tick = ref 0 in
+  let ops_applied = ref 0 in
+  let finished a =
+    Client.failed a.client <> None
+    || (a.remaining = 0 && a.resume_at < 0 && Client.synced a.client)
+  in
+  let quiesced () = Array.for_all finished actors && Service.idle svc in
+  (* Editing done and everything acked ⇒ the shards' states are final; one
+     catch-up poll per client then brings every replica to the head —
+     including clients that sent nothing into the last epochs and would
+     otherwise never hear about them (request/reply protocol: no push). *)
+  let drained () =
+    Array.for_all (fun a -> Client.failed a.client <> None || (a.polled && finished a)) actors
+  in
+  let step ~drain a =
+    if Client.failed a.client = None then
+      if a.resume_at >= 0 then begin
+        if !tick >= a.resume_at then begin
+          Client.resume a.client (Service.listener svc a.shard);
+          a.resume_at <- -1
+        end
+      end
+      else begin
+        Client.tick a.client;
+        if
+          profile.disconnect_prob > 0.
+          && Client.connected a.client
+          && not (Client.synced a.client)
+          && Rng.float a.rng < profile.disconnect_prob
+        then begin
+          Client.disconnect a.client;
+          a.resume_at <- !tick + profile.resume_after
+        end
+        else if drain then begin
+          if (not a.polled) && Client.synced a.client then begin
+            Client.poll a.client;
+            a.polled <- true
+          end
+        end
+        else if a.remaining > 0 && Client.ready a.client then begin
+          if a.think > 0 then a.think <- a.think - 1
+          else begin
+            match Service.docs_on svc a.shard with
+            | [] -> a.remaining <- 0 (* nothing routed here: this editor is done *)
+            | docs_here ->
+              let burst = min a.remaining (1 + Rng.int a.rng ~bound:profile.burst_max) in
+              for _ = 1 to burst do
+                Client.edit a.client
+                  (Service.edit_doc ~rng:a.rng ~ins_bias:profile.ins_bias
+                     (Rng.pick a.rng docs_here))
+              done;
+              Client.flush a.client;
+              a.remaining <- a.remaining - burst;
+              ops_applied := !ops_applied + burst;
+              a.think <-
+                (if profile.think_max > 0 then Rng.int a.rng ~bound:(profile.think_max + 1)
+                 else 0)
+          end
+        end
+      end
+  in
+  let drain = ref false in
+  while !tick < profile.max_ticks && not (!drain && drained ()) do
+    if (not !drain) && quiesced () then drain := true;
+    Service.tick svc;
+    Array.iter (step ~drain:!drain) actors;
+    incr tick
+  done;
+  let failures =
+    Array.to_list actors
+    |> List.filter_map (fun a ->
+           Option.map (fun reason -> (a.name, reason)) (Client.failed a.client))
+  in
+  let converged =
+    failures = [] && quiesced () && drained ()
+    && Array.for_all
+         (fun a ->
+           String.equal
+             (Sm_mergeable.Workspace.digest (Client.view a.client))
+             (Server.digest (Service.shard svc a.shard)))
+         actors
+  in
+  { converged
+  ; shard_digests = Service.digests svc
+  ; ticks = !tick
+  ; ops_applied = !ops_applied
+  ; edits_merged = Service.edits_merged svc
+  ; epochs = Service.epochs_run svc
+  ; delta_bytes = Service.delta_bytes_sent svc
+  ; snapshot_bytes = Service.snapshot_bytes_sent svc
+  ; retransmits = Array.fold_left (fun acc a -> acc + Client.retransmits a.client) 0 actors
+  ; resumes = Array.fold_left (fun acc a -> acc + Client.resumes a.client) 0 actors
+  ; failures
+  }

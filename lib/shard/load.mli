@@ -1,0 +1,65 @@
+(** A {!Sm_util.Det_rng}-seeded load generator simulating fleets of editors
+    against a {!Service}.
+
+    Everything — shard epochs, client think times, edit bursts, the Netpipe
+    fault plane, disconnect/resume chaos — runs in one discrete-event tick
+    loop on the calling thread, so a run is a pure function of the profile
+    (in particular of [seed]): same profile ⇒ same tick count, same byte
+    counters, byte-identical shard digests.  That is the property the bench
+    gate and the fuzz target check.
+
+    The loop ends when every editor has placed its operations and every
+    replica is synced (or an editor failed, or [max_ticks] ran out); the
+    report then compares every surviving client view digest against its
+    shard's authoritative digest. *)
+
+type faults =
+  { drop : float
+  ; dup : float
+  ; delay : float
+  ; reorder : float
+  }
+
+type profile =
+  { seed : int64
+  ; shards : int
+  ; clients : int
+  ; specs : Service.spec list  (** ignored when [run ~docs] supplies pre-minted docs *)
+  ; ops_per_client : int
+  ; think_max : int  (** max idle ticks between bursts (0 = edit every tick) *)
+  ; burst_max : int  (** max operations per flushed batch *)
+  ; ins_bias : float  (** probability an edit inserts (vs deletes/relabels) *)
+  ; mode : Server.mode
+  ; epoch_ticks : int
+  ; faults : faults option  (** installed process-globally for the run's duration *)
+  ; disconnect_prob : float  (** per-tick crash probability while un-synced *)
+  ; resume_after : int  (** ticks a crashed editor stays away before {!Client.resume} *)
+  ; max_ticks : int  (** safety net: give up (non-converged) past this *)
+  }
+
+val default : profile
+(** 2 shards, 8 clients, 4 small documents, 20 ops each, delta mode, no
+    chaos — the demo configuration. *)
+
+type report =
+  { converged : bool
+    (** all editors finished and every client view digest matches its
+        shard's digest *)
+  ; shard_digests : string list
+  ; ticks : int
+  ; ops_applied : int  (** operations placed by editors *)
+  ; edits_merged : int  (** edit batches merged by shards *)
+  ; epochs : int
+  ; delta_bytes : int
+  ; snapshot_bytes : int
+  ; retransmits : int
+  ; resumes : int
+  ; failures : (string * string) list  (** client name, Nack/decode reason *)
+  }
+
+val run : ?docs:Service.docs -> profile -> report
+(** Run a workload to quiescence.  Pass [~docs] to reuse pre-minted
+    documents (required when calling [run] repeatedly in one process with
+    the same document names — registry keys must be minted once; the fuzz
+    target does this).  The profile's [specs] are used only when [~docs] is
+    absent. *)

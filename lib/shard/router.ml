@@ -1,0 +1,25 @@
+(* FNV-1a alone has weakly mixed low bits for short, similar names (document
+   sets like doc/a, doc/b land on one shard suspiciously often), and the
+   modulo only looks at those bits.  A SplitMix64 finalizer avalanches the
+   full hash first. *)
+let mix h =
+  let open Int64 in
+  let h = logxor h (shift_right_logical h 30) in
+  let h = mul h 0xbf58476d1ce4e5b9L in
+  let h = logxor h (shift_right_logical h 27) in
+  let h = mul h 0x94d049bb133111ebL in
+  logxor h (shift_right_logical h 31)
+
+let shard_of ~shards name =
+  if shards <= 0 then invalid_arg "Router.shard_of: shards must be positive";
+  let h = Int64.to_int (mix (Sm_util.Fnv.hash name)) land max_int in
+  h mod shards
+
+let partition ~shards names =
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun name ->
+      let s = shard_of ~shards name in
+      buckets.(s) <- name :: buckets.(s))
+    names;
+  Array.map List.rev buckets

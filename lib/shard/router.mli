@@ -1,0 +1,14 @@
+(** Deterministic document placement: which shard owns a named document.
+
+    Placement is a pure function of the document {e name} and the shard
+    count — every participant (shards, clients, tools) computes it locally
+    and agrees, with no placement directory to keep consistent.  FNV-1a is
+    the same stable hash the determinism oracle uses, so placement is also
+    identical across runs and executors. *)
+
+val shard_of : shards:int -> string -> int
+(** The shard (in [\[0, shards)]) owning document [name].
+    @raise Invalid_argument when [shards <= 0]. *)
+
+val partition : shards:int -> string list -> string list array
+(** All names grouped by owning shard, input order preserved per shard. *)

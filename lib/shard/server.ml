@@ -1,0 +1,313 @@
+module Ws = Sm_mergeable.Workspace
+module Registry = Sm_dist.Registry
+module Netpipe = Sm_sim.Netpipe
+module Obs = Sm_obs
+module E = Sm_obs.Event
+
+let m_epochs = Obs.Metrics.counter "shard.epochs"
+let m_epoch_edits = Obs.Metrics.counter "shard.epoch_edits"
+let m_delta_bytes = Obs.Metrics.counter "shard.delta_bytes"
+let m_snapshot_bytes = Obs.Metrics.counter "shard.snapshot_bytes"
+let m_replays = Obs.Metrics.counter "shard.replayed_replies"
+let m_rejected = Obs.Metrics.counter "shard.rejected_frames"
+let h_epoch_size = Obs.Metrics.histogram "shard.epoch_size"
+
+(* Trace lanes: shards park above the dist layer's 1M-range coordinator and
+   task lanes, one lane per shard. *)
+let obs_shard_tid k = 2_000_000 + k
+let obs_shard_name k = Printf.sprintf "shard%d" k
+
+type mode =
+  [ `Delta
+  | `Snapshot
+  ]
+
+type session =
+  { sid : int
+  ; client : string
+  ; mutable sconn : Netpipe.conn
+  ; acked : (int, int) Hashtbl.t  (* wire_id -> last revision shipped to this client *)
+  ; mutable last_req : int  (* highest request number answered *)
+  ; mutable cached : string option  (* sealed reply frame for [last_req] *)
+  ; mutable last_eid : int  (* highest edit batch merged (dedup across re-issues) *)
+  }
+
+type t =
+  { reg : Registry.t
+  ; ws : Ws.t
+  ; shard_id : int
+  ; mode : mode
+  ; epoch_ticks : int
+  ; listener : Netpipe.listener
+  ; mutable conns : Netpipe.conn list  (* accept order — the deterministic poll order *)
+  ; sessions : (int, session) Hashtbl.t
+  ; mutable next_sid : int
+  ; mutable epoch_buffer : (session * int * int * (int * int) list * (int * string) list) list
+      (* (session, req, eid, base, ops), arrival order (reversed) *)
+  ; mutable tick_count : int
+  ; h_merge : Obs.Metrics.histogram  (* per-shard merge latency *)
+  ; mutable delta_payload_bytes : int  (* document bytes shipped as deltas *)
+  ; mutable snap_payload_bytes : int  (* document bytes shipped as snapshots *)
+  ; delta_memo : (int * int * int, string) Hashtbl.t
+      (* shared encoded-suffix cache for one epoch's replies *)
+  ; mutable epochs_run : int
+  ; mutable edits_merged : int
+  ; obs_task : string
+  ; obs_tid : int
+  }
+
+let create ~reg ~shard_id ~mode ~epoch_ticks ~init =
+  if epoch_ticks <= 0 then invalid_arg "Server.create: epoch_ticks must be positive";
+  let ws = Ws.create () in
+  init ws;
+  { reg
+  ; ws
+  ; shard_id
+  ; mode
+  ; epoch_ticks
+  ; listener = Netpipe.listen ()
+  ; conns = []
+  ; sessions = Hashtbl.create 32
+  ; next_sid = 0
+  ; epoch_buffer = []
+  ; tick_count = 0
+  ; h_merge = Obs.Metrics.histogram (Printf.sprintf "shard%d.merge_ns" shard_id)
+  ; delta_payload_bytes = 0
+  ; snap_payload_bytes = 0
+  ; delta_memo = Hashtbl.create 64
+  ; epochs_run = 0
+  ; edits_merged = 0
+  ; obs_task = obs_shard_name shard_id
+  ; obs_tid = obs_shard_tid shard_id
+  }
+
+let listener t = t.listener
+let workspace t = t.ws
+let digest t = Ws.digest t.ws
+let delta_bytes_sent t = t.delta_payload_bytes
+let snapshot_bytes_sent t = t.snap_payload_bytes
+let epochs_run t = t.epochs_run
+let edits_merged t = t.edits_merged
+let session_count t = Hashtbl.length t.sessions
+let idle t = t.epoch_buffer = []
+
+(* --- replies ---------------------------------------------------------------- *)
+
+let snapshot_payload t =
+  let revs = Registry.revisions t.reg t.ws in
+  let states = Registry.encode_snapshot t.reg t.ws in
+  Proto.Snap
+    (List.map
+       (fun (id, bytes) ->
+         (id, (try List.assoc id revs with Not_found -> 0), bytes))
+       states)
+
+(* Fresh payload bringing [s] from what we last shipped it to the current
+   head; advances the shipped-revision watermark. *)
+let fresh_payload t (s : session) =
+  let payload =
+    match t.mode with
+    | `Snapshot -> snapshot_payload t
+    | `Delta ->
+      Proto.Delta
+        (Registry.encode_delta ~memo:t.delta_memo t.reg t.ws ~since:(fun id ->
+             Option.value ~default:0 (Hashtbl.find_opt s.acked id)))
+  in
+  List.iter (fun (id, rev) -> Hashtbl.replace s.acked id rev) (Registry.revisions t.reg t.ws);
+  payload
+
+let account_payload t payload =
+  let bytes = Proto.payload_bytes payload in
+  (match payload with
+  | Proto.Delta _ ->
+    t.delta_payload_bytes <- t.delta_payload_bytes + bytes;
+    Obs.Metrics.add m_delta_bytes bytes
+  | Proto.Snap _ ->
+    t.snap_payload_bytes <- t.snap_payload_bytes + bytes;
+    Obs.Metrics.add m_snapshot_bytes bytes);
+  if Obs.on Obs.Info then begin
+    (* The counterfactual: what this sync would have cost as a snapshot. *)
+    let snapshot_bytes =
+      match payload with
+      | Proto.Snap _ -> bytes
+      | Proto.Delta _ -> Proto.payload_bytes (snapshot_payload t)
+    in
+    Obs.emit
+      (E.make ~task:t.obs_task ~task_id:t.obs_tid
+         ~args:
+           [ ( "mode"
+             , E.S (match payload with Proto.Delta _ -> "delta" | Proto.Snap _ -> "snapshot") )
+           ; ("bytes", E.I bytes)
+           ; ("snapshot_bytes", E.I snapshot_bytes)
+           ]
+         E.Delta_sync)
+  end
+
+let reply (s : session) ~req msg =
+  let frame = Proto.seal_s2c msg in
+  s.last_req <- req;
+  s.cached <- Some frame;
+  Netpipe.send s.sconn frame
+
+(* --- receive path ----------------------------------------------------------- *)
+
+let handle_hello t conn ~client =
+  let s =
+    { sid = t.next_sid
+    ; client
+    ; sconn = conn
+    ; acked = Hashtbl.create 8
+    ; last_req = -1
+    ; cached = None
+    ; last_eid = -1
+    }
+  in
+  t.next_sid <- t.next_sid + 1;
+  Hashtbl.replace t.sessions s.sid s;
+  let payload = fresh_payload t s in
+  account_payload t payload;
+  reply s ~req:0 (Proto.Welcome { session = s.sid; payload })
+
+let handle_resume t conn ~session ~req ~cursors =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> Netpipe.send conn (Proto.seal_s2c (Proto.Nack { session; req; reason = "unknown session" }))
+  | Some s ->
+    s.sconn <- conn;
+    if req <= s.last_req then begin
+      (* Duplicate (dup/reorder fault): replay the identical welcome. *)
+      Obs.Metrics.incr m_replays;
+      match s.cached with Some frame -> Netpipe.send conn frame | None -> ()
+    end
+    else begin
+      (* The client's cursors are authoritative: acks it never saw must be
+         re-shipped, so roll the watermark back to what it actually holds. *)
+      Hashtbl.reset s.acked;
+      List.iter (fun (id, rev) -> Hashtbl.replace s.acked id rev) cursors;
+      let payload = fresh_payload t s in
+      account_payload t payload;
+      reply s ~req (Proto.Welcome { session = s.sid; payload })
+    end
+
+let handle_edit t conn ~session ~req ~eid ~base ~ops =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> Netpipe.send conn (Proto.seal_s2c (Proto.Nack { session; req; reason = "unknown session" }))
+  | Some s ->
+    s.sconn <- conn;
+    if req <= s.last_req then begin
+      Obs.Metrics.incr m_replays;
+      match s.cached with Some frame -> Netpipe.send s.sconn frame | None -> ()
+    end
+    else if List.exists (fun (s', req', _, _, _) -> s'.sid = s.sid && req' = req) t.epoch_buffer
+    then () (* retransmit of an edit already waiting for the epoch *)
+    else t.epoch_buffer <- (s, req, eid, base, ops) :: t.epoch_buffer
+
+let handle_poll t conn ~session ~req =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> Netpipe.send conn (Proto.seal_s2c (Proto.Nack { session; req; reason = "unknown session" }))
+  | Some s ->
+    s.sconn <- conn;
+    if req <= s.last_req then begin
+      Obs.Metrics.incr m_replays;
+      match s.cached with Some frame -> Netpipe.send s.sconn frame | None -> ()
+    end
+    else begin
+      (* Answered immediately (not at the epoch): a poll carries no ops, it
+         just reads the head — it is how an idle client hears about epochs
+         it sent nothing into. *)
+      let payload = fresh_payload t s in
+      account_payload t payload;
+      reply s ~req (Proto.Ack { session = s.sid; req; payload })
+    end
+
+let handle_bye t ~session = Hashtbl.remove t.sessions session
+
+let handle_frame t conn frame =
+  match Proto.open_c2s frame with
+  | Proto.Hello { client } -> handle_hello t conn ~client
+  | Proto.Resume { session; req; cursors } -> handle_resume t conn ~session ~req ~cursors
+  | Proto.Edit { session; req; eid; base; ops } -> handle_edit t conn ~session ~req ~eid ~base ~ops
+  | Proto.Poll { session; req } -> handle_poll t conn ~session ~req
+  | Proto.Bye { session } -> handle_bye t ~session
+  | exception (Sm_dist.Wire.Frame.Bad_frame _ | Sm_util.Codec.Decode_error _) ->
+    Obs.Metrics.incr m_rejected
+
+(* --- epoch flush ------------------------------------------------------------ *)
+
+let flush_epoch t =
+  match t.epoch_buffer with
+  | [] -> ()
+  | buffered ->
+    (* One batched transform pass: stable session-creation order, so the
+       epoch's composition is insensitive to arrival interleavings within
+       the window.  Entries whose request number a later Resume already
+       superseded are dropped whole — the client discarded that request and
+       will re-issue the batch (same eid) if it still matters. *)
+    let edits =
+      List.stable_sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a.sid b.sid)
+        (List.rev buffered)
+      |> List.filter (fun ((s : session), req, _, _, _) -> req > s.last_req)
+    in
+    t.epoch_buffer <- [];
+    (* The memo keys embed the revision window, so entries never go stale;
+       clearing per epoch just bounds the table to one epoch's windows. *)
+    Hashtbl.reset t.delta_memo;
+    let n = List.length edits in
+    if Obs.on Obs.Debug then
+      Obs.emit (E.make ~task:t.obs_task ~task_id:t.obs_tid ~args:[ ("edits", E.I n) ] E.Epoch_begin);
+    let total_ops = ref 0 in
+    (* Merge pass first, replies second: every participant's ack reflects
+       the WHOLE epoch, not the prefix merged before its own batch. *)
+    List.iter
+      (fun ((s : session), _req, eid, base, ops) ->
+        if eid > s.last_eid then begin
+          (* A batch this session has not merged yet (re-issues after a
+             resume carry the old eid and are skipped: exactly-once). *)
+          Obs.Metrics.time t.h_merge (fun () ->
+              Registry.merge_edit t.reg ~into:t.ws
+                ~base_rev:(fun id -> Option.value ~default:0 (List.assoc_opt id base))
+                ops);
+          s.last_eid <- eid;
+          t.edits_merged <- t.edits_merged + 1;
+          total_ops := !total_ops + List.length ops
+        end)
+      edits;
+    List.iter
+      (fun ((s : session), req, _, _, _) ->
+        let payload = fresh_payload t s in
+        account_payload t payload;
+        reply s ~req (Proto.Ack { session = s.sid; req; payload }))
+      edits;
+    t.epochs_run <- t.epochs_run + 1;
+    Obs.Metrics.incr m_epochs;
+    Obs.Metrics.add m_epoch_edits n;
+    Obs.Metrics.observe h_epoch_size (float_of_int n);
+    if Obs.on Obs.Debug then
+      Obs.emit
+        (E.make ~task:t.obs_task ~task_id:t.obs_tid
+           ~args:[ ("edits", E.I n); ("ops", E.I !total_ops) ]
+           E.Epoch_end)
+
+(* --- tick ------------------------------------------------------------------- *)
+
+let tick t =
+  let rec accept_all () =
+    match Netpipe.try_accept t.listener with
+    | Some conn ->
+      t.conns <- t.conns @ [ conn ];
+      accept_all ()
+    | None -> ()
+  in
+  accept_all ();
+  List.iter
+    (fun conn ->
+      let rec drain () =
+        match Netpipe.try_recv conn with
+        | Some frame ->
+          handle_frame t conn frame;
+          drain ()
+        | None -> ()
+      in
+      drain ())
+    t.conns;
+  t.tick_count <- t.tick_count + 1;
+  if t.tick_count mod t.epoch_ticks = 0 then flush_epoch t

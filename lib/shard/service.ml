@@ -1,0 +1,154 @@
+module Ws = Sm_mergeable.Workspace
+module Registry = Sm_dist.Registry
+module Codable = Sm_dist.Codable
+module Rng = Sm_util.Det_rng
+
+module Tree = Codable.Make_tree (Codable.String_elt)
+
+type spec =
+  [ `Text of string * string
+  | `Tree of string * Tree.Op.node list
+  ]
+
+type kind =
+  | Text_doc of (string, Sm_ot.Op_text.op) Registry.rkey * string
+  | Tree_doc of (Tree.Op.state, Tree.Op.op) Registry.rkey * Tree.Op.state
+
+type doc =
+  { name : string
+  ; kind : kind
+  }
+
+type docs =
+  { reg : Registry.t
+  ; docs : doc list
+  }
+
+let spec_name = function `Text (n, _) | `Tree (n, _) -> n
+
+let make_docs specs =
+  let reg = Registry.create () in
+  let seen = Hashtbl.create 8 in
+  let docs =
+    List.map
+      (fun spec ->
+        let name = spec_name spec in
+        if Hashtbl.mem seen name then
+          invalid_arg (Printf.sprintf "Service.make_docs: duplicate document %S" name);
+        Hashtbl.replace seen name ();
+        match spec with
+        | `Text (name, initial) ->
+          { name; kind = Text_doc (Registry.value reg ~name (module Codable.Text), initial) }
+        | `Tree (name, initial) ->
+          { name; kind = Tree_doc (Registry.value reg ~name (module Tree), initial) })
+      specs
+  in
+  { reg; docs }
+
+let registry d = d.reg
+let doc_name d = d.name
+let doc_list d = d.docs
+
+let find_doc d name =
+  match List.find_opt (fun doc -> String.equal doc.name name) d.docs with
+  | Some doc -> doc
+  | None -> invalid_arg (Printf.sprintf "Service: unknown document %S" name)
+
+let text_key doc =
+  match doc.kind with
+  | Text_doc (rk, _) -> Registry.workspace_key rk
+  | Tree_doc _ -> invalid_arg (Printf.sprintf "Service.text_key: %S is a tree document" doc.name)
+
+let tree_key doc =
+  match doc.kind with
+  | Tree_doc (rk, _) -> Registry.workspace_key rk
+  | Text_doc _ -> invalid_arg (Printf.sprintf "Service.tree_key: %S is a text document" doc.name)
+
+let init_doc ws doc =
+  match doc.kind with
+  | Text_doc (rk, initial) -> Ws.init ws (Registry.workspace_key rk) initial
+  | Tree_doc (rk, initial) -> Ws.init ws (Registry.workspace_key rk) initial
+
+type t =
+  { docs : docs
+  ; shards : Server.t array
+  ; by_shard : doc list array
+  }
+
+let create (docs : docs) ~shards ~mode ~epoch_ticks =
+  if shards <= 0 then invalid_arg "Service.create: shards must be positive";
+  let by_shard = Array.make shards [] in
+  List.iter
+    (fun doc ->
+      let s = Router.shard_of ~shards doc.name in
+      by_shard.(s) <- by_shard.(s) @ [ doc ])
+    docs.docs;
+  let servers =
+    Array.init shards (fun shard_id ->
+        Server.create ~reg:docs.reg ~shard_id ~mode ~epoch_ticks ~init:(fun ws ->
+            List.iter (init_doc ws) by_shard.(shard_id)))
+  in
+  { docs; shards = servers; by_shard }
+
+let shard_count t = Array.length t.shards
+let shard_of t name = Router.shard_of ~shards:(Array.length t.shards) name
+let shard t k = t.shards.(k)
+let listener t k = Server.listener t.shards.(k)
+let listener_for t ~doc = listener t (shard_of t doc)
+let docs_on t k = t.by_shard.(k)
+let tick t = Array.iter Server.tick t.shards
+let digests t = Array.to_list (Array.map Server.digest t.shards)
+
+let client_init t ~shard ws = List.iter (init_doc ws) t.by_shard.(shard)
+
+let delta_bytes_sent t = Array.fold_left (fun a s -> a + Server.delta_bytes_sent s) 0 t.shards
+
+let snapshot_bytes_sent t =
+  Array.fold_left (fun a s -> a + Server.snapshot_bytes_sent s) 0 t.shards
+
+let epochs_run t = Array.fold_left (fun a s -> a + Server.epochs_run s) 0 t.shards
+let edits_merged t = Array.fold_left (fun a s -> a + Server.edits_merged s) 0 t.shards
+let idle t = Array.for_all Server.idle t.shards
+
+(* --- random edits (the load generator's edit mix) --------------------------- *)
+
+let random_label rng = Printf.sprintf "n%d" (Rng.int rng ~bound:1000)
+
+let random_string rng =
+  let n = 1 + Rng.int rng ~bound:8 in
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Rng.int rng ~bound:26))
+
+(* A path to an existing node (nonempty forest assumed). *)
+let rec random_node_path rng (forest : Tree.Op.node list) =
+  let i = Rng.int rng ~bound:(List.length forest) in
+  let node = List.nth forest i in
+  if node.Tree.Op.children <> [] && Rng.bool rng then i :: random_node_path rng node.Tree.Op.children
+  else [ i ]
+
+(* A path whose last component is a gap index (valid insert position). *)
+let rec random_gap_path rng (forest : Tree.Op.node list) =
+  let n = List.length forest in
+  let i = Rng.int rng ~bound:(n + 1) in
+  if i < n && Rng.bool rng then i :: random_gap_path rng (List.nth forest i).Tree.Op.children
+  else [ i ]
+
+let edit_doc ~rng ~ins_bias doc ws =
+  match doc.kind with
+  | Text_doc (rk, _) ->
+    let k = Registry.workspace_key rk in
+    let s = Ws.read ws k in
+    let len = String.length s in
+    if len = 0 || Rng.float rng < ins_bias then
+      Ws.update ws k (Sm_ot.Op_text.Ins (Rng.int rng ~bound:(len + 1), random_string rng))
+    else begin
+      let pos = Rng.int rng ~bound:len in
+      let dlen = 1 + Rng.int rng ~bound:(min 4 (len - pos)) in
+      Ws.update ws k (Sm_ot.Op_text.Del (pos, dlen))
+    end
+  | Tree_doc (rk, _) ->
+    let k = Registry.workspace_key rk in
+    let forest = Ws.read ws k in
+    if forest = [] || Rng.float rng < ins_bias then
+      Ws.update ws k (Tree.Op.insert (random_gap_path rng forest) (Tree.Op.leaf (random_label rng)))
+    else if Rng.bool rng then Ws.update ws k (Tree.Op.relabel (random_node_path rng forest) (random_label rng))
+    else Ws.update ws k (Tree.Op.delete (random_node_path rng forest))

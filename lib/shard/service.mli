@@ -1,0 +1,84 @@
+(** A multi-shard collaborative-document service: N {!Server} shards, each
+    owning the disjoint set of named documents the {!Router} hashes to it.
+
+    Documents are declared once as {!spec}s and minted into a shared
+    {!Sm_dist.Registry} by {!make_docs} — registration order defines wire
+    ids, so mint at module level and reuse the same {!docs} for every
+    service instance, client and fuzz iteration (see the registry's
+    single-construction-site rule).  A {!t} is then one deployment of those
+    documents across [shards] coordinator shards. *)
+
+module Tree : module type of Sm_dist.Codable.Make_tree (Sm_dist.Codable.String_elt)
+
+type spec =
+  [ `Text of string * string  (** name, initial text *)
+  | `Tree of string * Tree.Op.node list  (** name, initial forest *)
+  ]
+
+type doc
+type docs
+
+val spec_name : spec -> string
+
+val make_docs : spec list -> docs
+(** Mint the registry and typed keys for a document set.
+    @raise Invalid_argument on duplicate names. *)
+
+val registry : docs -> Sm_dist.Registry.t
+val doc_list : docs -> doc list
+val doc_name : doc -> string
+
+val find_doc : docs -> string -> doc
+(** @raise Invalid_argument for unknown names. *)
+
+val text_key : doc -> (string, Sm_ot.Op_text.op) Sm_mergeable.Workspace.key
+(** The workspace key of a text document — read a replica's content with
+    {!Sm_mergeable.Workspace.read}.
+    @raise Invalid_argument for tree documents. *)
+
+val tree_key : doc -> (Tree.Op.state, Tree.Op.op) Sm_mergeable.Workspace.key
+(** The workspace key of a tree document.
+    @raise Invalid_argument for text documents. *)
+
+type t
+
+val create : docs -> shards:int -> mode:Server.mode -> epoch_ticks:int -> t
+(** Deploy: each document lands on shard [Router.shard_of ~shards name],
+    and each shard's workspace binds exactly its own documents. *)
+
+val shard_count : t -> int
+val shard_of : t -> string -> int
+val shard : t -> int -> Server.t
+val listener : t -> int -> Sm_sim.Netpipe.listener
+
+val listener_for : t -> doc:string -> Sm_sim.Netpipe.listener
+(** The listener of the shard owning document [doc]. *)
+
+val docs_on : t -> int -> doc list
+
+val client_init : t -> shard:int -> Sm_mergeable.Workspace.t -> unit
+(** Workspace initializer for a client of shard [shard] — binds the same
+    documents, with the same initial states, as the shard itself. *)
+
+val tick : t -> unit
+(** Tick every shard once, in shard order. *)
+
+val digests : t -> string list
+(** Per-shard workspace digests, in shard order. *)
+
+val idle : t -> bool
+
+(** {1 Aggregate counters (summed over shards)} *)
+
+val delta_bytes_sent : t -> int
+val snapshot_bytes_sent : t -> int
+val epochs_run : t -> int
+val edits_merged : t -> int
+
+(** {1 Random edits (the load generator's edit mix)} *)
+
+val edit_doc : rng:Sm_util.Det_rng.t -> ins_bias:float -> doc -> Sm_mergeable.Workspace.t -> unit
+(** Apply one random operation to [doc] in a client view: for text, an
+    insert with probability [ins_bias] else a delete; for trees, an insert
+    with probability [ins_bias] else a relabel or subtree delete.  Empty
+    documents always get inserts. *)

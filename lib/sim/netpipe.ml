@@ -166,6 +166,8 @@ let flush_pending c =
       done)
 
 let recv c = Sm_util.Bqueue.pop c.incoming
+let try_recv c = Sm_util.Bqueue.try_pop c.incoming
+let try_accept l = Sm_util.Bqueue.try_pop l.backlog
 
 let close c =
   flush_pending c;

@@ -28,6 +28,10 @@ val accept : listener -> conn option
 (** Server side: block until a client connects; [None] after
     {!shutdown}. *)
 
+val try_accept : listener -> conn option
+(** Non-blocking {!accept}: [None] when no connection is waiting.  The
+    polling surface the single-threaded shard service is built on. *)
+
 val send : conn -> string -> unit
 (** Never blocks (unbounded pipe).  Sending on a closed connection is a
     silent no-op, like writing to a socket the peer already closed — the
@@ -38,6 +42,9 @@ val send : conn -> string -> unit
 val recv : conn -> string option
 (** Block until a message arrives; [None] once the peer closed and the pipe
     drained. *)
+
+val try_recv : conn -> string option
+(** Non-blocking {!recv}: [None] when nothing is currently queued. *)
 
 val close : conn -> unit
 (** Close both directions; idempotent.  Messages still held by the fault

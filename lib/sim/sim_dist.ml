@@ -1,0 +1,108 @@
+module D = Sm_dist.Coordinator
+module Reg = Sm_dist.Registry
+module Ws = Sm_mergeable.Workspace
+module C = Sm_util.Codec
+module W = Workload
+
+module Slist = Sm_dist.Codable.Make_list (Sm_dist.Codable.String_elt)
+
+(* One registry for the whole process (the dist layer's single-construction-
+   site rule): coordinator and nodes share it by construction. *)
+let registry = Reg.create ()
+let k_events = Reg.value registry ~name:"simdist.events" (module Slist)
+let k_routed = Reg.value registry ~name:"simdist.routed" (module Slist)
+
+let msg_codec = C.pair C.int C.string (* ttl_left, payload *)
+let event_codec = C.pair C.int msg_codec (* processing host, message *)
+let routed_codec = C.pair C.int msg_codec (* destination host, successor *)
+
+(* [host; load; hosts; mode tag; topology tag] — flat int list rather than a
+   bespoke record codec; the task validates the arity. *)
+let arg_codec = C.pair (C.list C.int) (C.list msg_codec)
+
+let append ctx k entry = Reg.update ctx k (Slist.Op.ins (List.length (Reg.read ctx k)) entry)
+
+let mode_tag = function W.Hash_destination -> 0 | W.Ring_destination -> 1
+let topo_tag = function W.Full -> 0 | W.Ring_topology -> 1 | W.Star -> 2 | W.Grid -> 3
+
+let t_host =
+  Reg.task registry ~name:"simdist-host" (fun ctx ->
+      let params, msgs = C.decode arg_codec (Reg.argument ctx) in
+      match params with
+      | [ host; load; hosts; mode; topo ] ->
+        let cfg =
+          { W.default with
+            hosts
+          ; load
+          ; mode = (if mode = 0 then W.Hash_destination else W.Ring_destination)
+          ; topology =
+              (match topo with
+              | 0 -> W.Full
+              | 1 -> W.Ring_topology
+              | 2 -> W.Star
+              | _ -> W.Grid)
+          }
+        in
+        List.iter
+          (fun (ttl_left, payload) ->
+            let m = { W.payload; ttl_left } in
+            append ctx k_events (C.encode event_codec (host, (ttl_left, payload)));
+            match W.process cfg ~host m with
+            | Some m', dest ->
+              append ctx k_routed (C.encode routed_codec (dest, (m'.W.ttl_left, m'.W.payload)))
+            | None, _ -> ())
+          msgs
+      | _ -> invalid_arg "simdist-host: malformed argument"
+    )
+
+let rounds_of_last = ref 0
+let rounds_of_last_run () = !rounds_of_last
+
+let run ?(nodes = 2) ?chaos cfg =
+  W.validate cfg;
+  let cluster = D.cluster ~nodes ?chaos registry in
+  Fun.protect ~finally:(fun () -> D.shutdown cluster) @@ fun () ->
+  let start = Unix.gettimeofday () in
+  D.run cluster (fun ctx ->
+      let ws = D.workspace ctx in
+      Ws.init ws (Reg.workspace_key k_events) [];
+      Ws.init ws (Reg.workspace_key k_routed) [];
+      let params host = [ host; cfg.W.load; cfg.W.hosts; mode_tag cfg.W.mode; topo_tag cfg.W.topology ] in
+      let routed_cursor = ref 0 in
+      let rounds = ref 0 in
+      let pending =
+        ref
+          (List.map
+             (fun (h, m) -> (h, (m.W.ttl_left, m.W.payload)))
+             (W.initial_messages cfg))
+      in
+      while !pending <> [] do
+        incr rounds;
+        (* One remote task per host holding messages, spawned in host order:
+           the round's merges happen in that creation order, so the merged
+           event/routing lists — and thus the digests — are run-invariant. *)
+        let by_host = Array.make cfg.W.hosts [] in
+        List.iter (fun (h, m) -> by_host.(h) <- m :: by_host.(h)) !pending;
+        Array.iteri
+          (fun host msgs ->
+            match List.rev msgs with
+            | [] -> ()
+            | msgs ->
+              ignore (D.spawn ctx t_host ~argument:(C.encode arg_codec (params host, msgs))))
+          by_host;
+        while D.live_tasks ctx > 0 do
+          D.merge_all ctx
+        done;
+        let routed = Ws.read ws (Reg.workspace_key k_routed) in
+        let fresh = List.filteri (fun i _ -> i >= !routed_cursor) routed in
+        routed_cursor := List.length routed;
+        pending := List.map (C.decode routed_codec) fresh
+      done;
+      rounds_of_last := !rounds;
+      let trace = W.Trace.create ~hosts:cfg.W.hosts in
+      List.iter
+        (fun s ->
+          let host, (ttl_left, payload) = C.decode event_codec s in
+          W.Trace.record trace ~host { W.payload; ttl_left })
+        (Ws.read ws (Reg.workspace_key k_events));
+      W.Trace.finish trace ~elapsed_s:(Unix.gettimeofday () -. start))

@@ -1,0 +1,26 @@
+(** The network simulation on the {e distributed} runtime: remote tasks on
+    {!Sm_dist.Coordinator} worker nodes instead of in-process spawned tasks.
+
+    Each simulation round spawns one registered task per host that holds
+    messages; the task burns the SHA-1 load, records its processing events,
+    and appends successor messages to a shared mergeable routing list.  The
+    coordinator merges the round in creation order, reads the fresh routing
+    suffix, and starts the next round — the distributed analogue of
+    {!Sim_spawnmerge}'s MergeAll cycle.
+
+    The point of the module is the [?chaos] parameter: it is how
+    {!Sm_dist.Coordinator.Chaos} — the upstream-message delay/reorder relay —
+    is reachable from [bin/netsim] (previously only the fuzz target used
+    it).  Chaos must not change either digest; [netsim --impl dist --delay
+    0.3 --runs 3] shows exactly that.  Note the coordinator's channels are
+    {e reliable}: delay and reorder are meaningful, drop and dup are not
+    (that lossy fault plane lives in {!Netpipe} and is exercised by the
+    shard service). *)
+
+val run :
+  ?nodes:int -> ?chaos:Sm_dist.Coordinator.Chaos.t -> Workload.config -> Workload.report
+(** Run the workload on a fresh cluster of [nodes] (default 2) worker
+    nodes.  Digests are run-invariant and chaos-invariant. *)
+
+val rounds_of_last_run : unit -> int
+(** Simulation rounds of the most recent {!run}, for harness output. *)
