@@ -16,6 +16,7 @@
      dune exec bench/main.exe semaphore       # Section IV.A expressiveness cost
      dune exec bench/main.exe journal [--gate]  # journal compaction payoff on MergeAll
      dune exec bench/main.exe service [--gate]  # shard service: delta sync vs snapshots
+     dune exec bench/main.exe obs [--gate]    # observability overhead (recorder/tracing)
      dune exec bench/main.exe micro           # bechamel component microbenches
      dune exec bench/main.exe fuzz            # sm-fuzz seeds/second (CI budget sizing)
 
@@ -803,6 +804,103 @@ let service_bench () =
   Format.printf "  delta <= 20%% of snapshot bytes:          %s@." (verdict compact);
   converged && reproducible && same_state && compact
 
+(* --- obs: observability overhead over the shard service ---------------------- *)
+
+(* The PR's overhead contract, measured in-process so it holds on any
+   machine: (a) the default configuration — flight recorder on, tracing and
+   metrics off — stays within 3% wall-clock of the everything-off
+   configuration, which is code-path-identical to the pre-observability
+   service (context minting is gated on the Info level and sealing without a
+   context emits version-1 frames byte-for-byte); (b) the full paper-scale
+   4-shard/1000-editor run completes under full Debug tracing with digests
+   identical to its untraced baseline — observation must never change the
+   computation. *)
+let obs_bench () =
+  section "obs: observability overhead (flight recorder on vs off; full tracing at scale)";
+  let module Load = Sm_shard.Load in
+  let module FR = Sm_obs.Flight_recorder in
+  let docs = Lazy.force service_docs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let saved_m = Sm_obs.Metrics.is_enabled () in
+  let saved_level = Sm_obs.level () in
+  Fun.protect ~finally:(fun () ->
+      FR.set_enabled true;
+      Sm_obs.Metrics.set_enabled saved_m;
+      Sm_obs.set_level saved_level)
+  @@ fun () ->
+  Sm_obs.set_level Sm_obs.Off;
+  Sm_obs.Metrics.set_enabled false;
+  let small =
+    { Load.default with
+      Load.seed = 7L
+    ; shards = 4
+    ; clients = 200
+    ; ops_per_client = 20
+    ; specs = service_specs
+    }
+  in
+  (* Warm-up, then alternate off/on pairs and compare minima: alternation
+     spreads allocator/GC drift over both sides, and noise only ever adds
+     wall time, so min-of-N is the intrinsic cost of each configuration. *)
+  ignore (Load.run ~docs small);
+  let measure flag =
+    FR.set_enabled flag;
+    let _, ms = time (fun () -> Load.run ~docs small) in
+    ms
+  in
+  let pairs = List.init 5 (fun _ -> (measure false, measure true)) in
+  let minimum l = List.fold_left Float.min Float.infinity l in
+  let off_ms = minimum (List.map fst pairs) in
+  let on_ms = minimum (List.map snd pairs) in
+  let ratio = on_ms /. off_ms in
+  Format.printf "%-44s %8.0fms@." "recorder off (pre-observability code path)" off_ms;
+  Format.printf "%-44s %8.0fms  (%+.1f%%)@." "recorder on (the default)" on_ms
+    ((ratio -. 1.0) *. 100.0);
+  (* Full scale: the service gate's 4-shard/1000-editor deployment, once
+     bare and once under full Debug tracing into a counting sink. *)
+  let big =
+    { Load.default with
+      Load.seed = 42L
+    ; shards = 4
+    ; clients = 1000
+    ; ops_per_client = 50
+    ; specs = service_specs
+    }
+  in
+  FR.set_enabled false;
+  let base, base_ms = time (fun () -> Load.run ~docs big) in
+  FR.set_enabled true;
+  let events = ref 0 in
+  Sm_obs.set_sink (Sm_obs.Sink.make (fun _ -> incr events));
+  Sm_obs.set_level Sm_obs.Debug;
+  Sm_obs.Metrics.set_enabled true;
+  let traced, traced_ms = time (fun () -> Load.run ~docs big) in
+  Sm_obs.reset_sink ();
+  Sm_obs.set_level Sm_obs.Off;
+  Sm_obs.Metrics.set_enabled false;
+  Format.printf "%-44s %8.0fms@." "4 shards x 1000 editors, observability off" base_ms;
+  Format.printf "%-44s %8.0fms  (%d events)@." "same run, full Debug tracing + metrics" traced_ms
+    !events;
+  record "obs/recorder_off_wall" off_ms;
+  record "obs/recorder_on_wall" on_ms;
+  record "obs/overhead_ratio" ratio;
+  record "obs/baseline_wall" base_ms;
+  record "obs/traced_wall" traced_ms;
+  record "obs/traced_events" (float_of_int !events);
+  let cheap = ratio <= 1.03 in
+  let complete = traced.Load.converged && base.Load.converged in
+  let same = traced.Load.shard_digests = base.Load.shard_digests in
+  let verdict ok = if ok then "ok" else "FAILED" in
+  Format.printf "@.gates:@.";
+  Format.printf "  recorder-on within 3%% of recorder-off:   %s@." (verdict cheap);
+  Format.printf "  traced 1000-editor run converged:        %s@." (verdict complete);
+  Format.printf "  tracing left the digests unchanged:      %s@." (verdict same);
+  cheap && complete && same
+
 (* --- fuzz: seeds/second through the fuzzer's stages -------------------------- *)
 
 (* Sizes the CI smoke and nightly tiers: seeds/second tells you what
@@ -917,6 +1015,10 @@ let () =
     let ok = service_bench () in
     finish "service";
     if has "--gate" && not ok then exit 1
+  | _ :: "obs" :: _ ->
+    let ok = obs_bench () in
+    finish "obs";
+    if has "--gate" && not ok then exit 1
   | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
   | _ :: "fuzz" :: _ -> fuzz_bench (); finish "fuzz"
   | _ :: "all" :: _ | [ _ ] ->
@@ -937,6 +1039,6 @@ let () =
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|micro|fuzz|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|obs [--gate]|micro|fuzz|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

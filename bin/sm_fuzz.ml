@@ -117,34 +117,79 @@ let run_dist ~seeds ~seed_base =
     (if !failures = 1 then "" else "s");
   if !failures > 0 then exit 1
 
-let run_shard ~seeds ~seed_base =
+let lane_file name =
+  String.map (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' as c -> c | _ -> '_') name
+
+let write_flight dir ~seed flight =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.map
+    (fun (lane, lines) ->
+      let path =
+        Filename.concat dir (Printf.sprintf "seed-0x%Lx-%s.flight.jsonl" seed (lane_file lane))
+      in
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      path)
+    flight
+
+let run_shard ~seeds ~seed_base ~flight_dir =
   let failures = ref 0 in
   for i = 0 to seeds - 1 do
     let seed = Int64.add seed_base (Int64.of_int i) in
     match F.Shard_target.fuzz_one ~seed () with
     | F.Shard_target.Passed _ -> ()
-    | F.Shard_target.Failed { detail; scenario; shrunk; shrink_steps } ->
+    | F.Shard_target.Failed { detail; scenario; shrunk; shrink_steps; flight; flight_deterministic }
+      ->
       incr failures;
       Format.printf "seed 0x%Lx: FAIL %s@.  scenario: %s@.  shrunk (%d step%s): %s@." seed detail
         (F.Shard_target.scenario_to_string scenario)
         shrink_steps
         (if shrink_steps = 1 then "" else "s")
-        (F.Shard_target.scenario_to_string shrunk)
+        (F.Shard_target.scenario_to_string shrunk);
+      let nev = List.fold_left (fun a (_, ls) -> a + List.length ls) 0 flight in
+      Format.printf "  flight: %d event%s across %d lane%s%s@." nev
+        (if nev = 1 then "" else "s")
+        (List.length flight)
+        (if List.length flight = 1 then "" else "s")
+        (if flight_deterministic then "" else " [WARNING: dump did not replay identically]");
+      (match flight_dir with
+      | Some dir ->
+        List.iter (fun p -> Format.printf "  flight dump: %s@." p) (write_flight dir ~seed flight)
+      | None ->
+        (* No dump dir: show each lane's tail inline — the last few ring
+           events are the post-mortem a triager reads first. *)
+        List.iter
+          (fun (lane, lines) ->
+            let n = List.length lines in
+            let tail = if n > 5 then Printf.sprintf " (last 5 of %d)" n else "" in
+            Format.printf "  [%s]%s@." lane tail;
+            List.iteri (fun i l -> if i >= n - 5 then Format.printf "    %s@." l) lines)
+          flight)
   done;
+  (* With a dump dir, always leave an artifact: the final run's rings even
+     on a clean pass, so CI uploads a post-mortem sample unconditionally. *)
+  (match flight_dir with
+  | Some dir when !failures = 0 -> Sm_obs.Flight_recorder.write_dir dir
+  | _ -> ());
   Format.printf "shard target: %d seed%s, %d failure%s@." seeds
     (if seeds = 1 then "" else "s")
     !failures
     (if !failures = 1 then "" else "s");
   if !failures > 0 then exit 1
 
-let run target seeds seed_base depth faults mutate runs report_dir =
+let run target seeds seed_base depth faults mutate runs report_dir flight_dir =
   let profile = parse_profile faults in
   let mutate = parse_mutate mutate in
   match target with
   | "spawn" -> run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir
   | "net" -> run_net ~seeds ~seed_base
   | "dist" -> run_dist ~seeds ~seed_base
-  | "shard" -> run_shard ~seeds ~seed_base
+  | "shard" -> run_shard ~seeds ~seed_base ~flight_dir
   | t -> die "unknown target %S (have: spawn, net, dist, shard)" t
 
 (* --- replay ----------------------------------------------------------------- *)
@@ -261,11 +306,18 @@ let run_cmd =
       value & opt (some string) None
       & info [ "report-dir" ] ~docv:"DIR" ~doc:"Write each failure report to DIR/seed-S.report.")
   in
+  let flight_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:"Shard target: write flight-recorder post-mortems to \
+                DIR/seed-S-LANE.flight.jsonl (on a clean pass, the final run's rings).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Fuzz N seeds against every applicable oracle, shrinking failures.")
     Term.(
       const run $ target_arg $ seeds_arg $ seed_base_arg $ depth_arg $ faults_arg $ mutate_arg
-      $ runs_arg $ report_dir_arg)
+      $ runs_arg $ report_dir_arg $ flight_dir_arg)
 
 let replay_cmd =
   let seed_arg =

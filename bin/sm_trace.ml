@@ -43,8 +43,21 @@ let critical_path path root =
 let attribute path json =
   let model = load_model path in
   let rows = Obs.Attribution.of_model model in
-  if json then print_endline (Obs.Json.to_string (Obs.Attribution.to_json rows))
-  else Obs.Attribution.pp Format.std_formatter rows
+  let docs = Obs.Attribution.docs_of_model model in
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [ ("tasks", Obs.Attribution.to_json rows)
+            ; ("docs", Obs.Attribution.docs_to_json docs)
+            ]))
+  else begin
+    Obs.Attribution.pp Format.std_formatter rows;
+    if docs <> [] then begin
+      Format.printf "@.hot documents:@.";
+      Obs.Attribution.pp_docs Format.std_formatter docs
+    end
+  end
 
 let diff path_a path_b =
   (match (Sys.file_exists path_a, Sys.file_exists path_b) with
@@ -54,7 +67,20 @@ let diff path_a path_b =
   match Obs.Trace_diff.compare_files path_a path_b with
   | result ->
     Format.printf "%a@." Obs.Trace_diff.pp_result result;
-    if not (Obs.Trace_diff.equal_result result) then exit 1
+    if not (Obs.Trace_diff.equal_result result) then begin
+      (* CI pipelines routinely swallow stdout (tee to an artifact, > log);
+         a determinism divergence must also land on stderr, next to the
+         non-zero exit that fails the job. *)
+      Format.eprintf "%a@." Obs.Trace_diff.pp_result result;
+      exit 1
+    end
+  | exception Obs.Trace_jsonl.Decode_error msg -> die "%s" msg
+
+let requests paths =
+  List.iter (fun p -> if not (Sys.file_exists p) then die "no such trace: %s" p) paths;
+  match Obs.Trace_stitch.of_files paths with
+  | [] -> die "no trace contexts found in %s (trace at Info with contexts on?)" (String.concat ", " paths)
+  | traces -> print_string (Obs.Trace_stitch.to_string traces)
   | exception Obs.Trace_jsonl.Decode_error msg -> die "%s" msg
 
 let expo path =
@@ -151,10 +177,23 @@ let expo_cmd =
              distributions.")
     Term.(const expo $ trace_arg)
 
+let requests_cmd =
+  let lanes_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"LANES" ~doc:"Per-process/per-rank JSONL trace lanes to stitch.")
+  in
+  Cmd.v
+    (Cmd.info "requests"
+       ~doc:"Stitch per-rank/per-process trace lanes into causal request trees: every event \
+             carrying a trace context, grouped by trace id across lanes, linked by span/parent \
+             edges.")
+    Term.(const requests $ lanes_arg)
+
 let cmd =
   let doc = "analyze Spawn/Merge JSONL traces" in
   Cmd.group
     (Cmd.info "sm-trace" ~version:"1.0" ~doc)
-    [ summary_cmd; critical_path_cmd; attribute_cmd; diff_cmd; expo_cmd ]
+    [ summary_cmd; critical_path_cmd; attribute_cmd; diff_cmd; expo_cmd; requests_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -10,12 +10,18 @@
    the suffix he missed — and his in-flight batch, re-issued under its
    original batch id, merges exactly once.
 
+   The service watches itself while all this happens: the crash leaves its
+   last moments in the shard's flight-recorder ring, and the wrap-up prints
+   the per-shard live-stats table with the conflict profiler's hot-documents
+   view (DESIGN 6.1).
+
      dune exec examples/collab_shard.exe
 *)
 
 module Service = Sm_shard.Service
 module Client = Sm_shard.Client
 module Ws = Sm_mergeable.Workspace
+module Obs = Sm_obs
 
 (* Declared once, at module level: registration order defines wire ids, so
    every participant — shards and clients alike — must mint from the same
@@ -91,6 +97,16 @@ let () =
 
   (* Resume: stale cursors go up, the missed suffix comes down, and the
      interrupted batch is re-issued under its original id. *)
+  (* The shard's flight recorder kept the crash's prologue: the ring holds
+     the last served requests regardless of sink verbosity, so even this
+     untraced run has a post-mortem to show. *)
+  let ring = Sm_shard.Server.recorder (List.nth (Service.servers svc) shard) in
+  Format.printf "the shard's flight ring holds bob's last moments (%d events):@."
+    (Obs.Flight_recorder.length ring);
+  List.iteri
+    (fun i line -> if i < 3 then Format.printf "  %s@." line)
+    (List.rev (Obs.Flight_recorder.dump_lines ring));
+
   Client.resume bob listener;
   until (fun () -> Client.synced alice && Client.synced bob);
   Format.printf "...and resumed.  both replicas now read:@.%s"
@@ -101,4 +117,8 @@ let () =
       (Ws.read (Client.view bob) k_minutes));
   Format.printf "@.shard digests: %s@." (String.concat " " (Service.digests svc));
   Format.printf "delta bytes shipped: %d (snapshots: %d)@."
-    (Service.delta_bytes_sent svc) (Service.snapshot_bytes_sent svc)
+    (Service.delta_bytes_sent svc) (Service.snapshot_bytes_sent svc);
+
+  (* The operator view of the same session: per-shard rows and the conflict
+     profiler's hot-documents table (notes/minutes paid the transform bill). *)
+  Format.printf "@.%s" (Service.stats_report svc)

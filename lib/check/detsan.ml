@@ -68,7 +68,12 @@ let observe f =
     Mutex.lock mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock mu) g
   in
-  let add h = protected (fun () -> hazards := h :: !hazards) in
+  (* A hazard is exactly the moment the flight recorder exists for: freeze
+     every ring as the post-mortem before the run unwinds any further. *)
+  let add h =
+    Sm_obs.Flight_recorder.trigger ~reason:(Format.asprintf "detsan: %a" pp_hazard h);
+    protected (fun () -> hazards := h :: !hazards)
+  in
   Rt.Sanitizer_hook.install (function
     | Rt.Sanitizer_hook.Nondet_merge { task; prim } -> add (Nondet_merge { task; prim })
     | Rt.Sanitizer_hook.Task_started { task } -> protected (fun () -> live := task :: !live)

@@ -136,10 +136,10 @@ let cluster ?(nodes = 2) ?chaos registry =
 
 let node_count cluster = Array.length cluster.nodes
 
-let send_down cluster rank msg =
+let send_down ?ctx cluster rank msg =
   Sm_util.Bqueue.push
     (Node.downstream cluster.nodes.(rank))
-    (Wire.seal_control (C.encode Wire.down_codec msg))
+    (Wire.seal_control ?ctx (C.encode Wire.down_codec msg))
 
 let shutdown cluster =
   Array.iter (fun node -> send_down cluster (Node.rank node) Wire.Stop) cluster.nodes;
@@ -191,17 +191,27 @@ let spawn ctx ?node task ~argument =
   let child = { uid; node; base = Ws.snapshot ctx.ws; cstate = Live; aborted = false } in
   ctx.children <- ctx.children @ [ child ];
   Obs.Metrics.incr m_remote_spawns;
+  (* The spawn's trace context crosses the wire with the Spawn frame, so
+     the node's Task_start lands on the same request tree as this Spawn
+     event — [sm-trace requests] stitches them by these ids.  Minted only
+     when tracing: without it the frame stays version 1, byte-identical to
+     pre-context builds. *)
+  let tctx =
+    if Obs.on Obs.Info then Some (Obs.Trace_ctx.root (Wire.obs_task_name ~rank:node ~uid))
+    else None
+  in
   if Obs.on Obs.Info then
     Obs.emit
       (E.make ~task:coord_task ~task_id:coord_tid
          ~args:
-           [ ("child", E.S (Wire.obs_task_name ~rank:node ~uid))
-           ; ("child_id", E.I (Wire.obs_task_tid uid))
-           ; ("rank", E.I node)
-           ; ("task", E.S task)
-           ]
+           ([ ("child", E.S (Wire.obs_task_name ~rank:node ~uid))
+            ; ("child_id", E.I (Wire.obs_task_tid uid))
+            ; ("rank", E.I node)
+            ; ("task", E.S task)
+            ]
+           @ match tctx with Some c -> Obs.Trace_ctx.args c | None -> [])
          E.Spawn);
-  send_down cluster node
+  send_down ?ctx:tctx cluster node
     (Wire.Spawn { uid; task; argument; snapshot = Registry.encode_snapshot cluster.registry ctx.ws });
   child
 
@@ -210,6 +220,10 @@ let decode_up bytes =
   | up -> up
   | exception C.Decode_error msg -> raise (Remote_failure ("corrupt upstream message: " ^ msg))
   | exception Wire.Frame.Bad_frame msg -> raise (Remote_failure ("rejected frame: " ^ msg))
+  | exception Wire.Frame.Unsupported_version { got; speaks } ->
+    raise
+      (Remote_failure
+         (Printf.sprintf "rejected frame: peer speaks frame version %d, this build %d" got speaks))
 
 (* Pull upstream until an event for [uid] is available; buffer strangers in
    arrival order. *)

@@ -15,14 +15,19 @@ type reply =
   ; snapshot : Wire.entries
   }
 
-let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot () =
+let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot ~tctx () =
   let obs_task = Wire.obs_task_name ~rank ~uid in
   let obs_tid = Wire.obs_task_tid uid in
+  (* The Spawn frame's trace context, refined one hop: the task's own span
+     is a child of the coordinator's spawn span, so the stitched request
+     tree shows coordinator -> rank task as one causal edge. *)
+  let tctx = Option.map (fun c -> Obs.Trace_ctx.child c "run") tctx in
+  let ctx_args = match tctx with Some c -> Obs.Trace_ctx.args c | None -> [] in
   Obs.Metrics.incr m_node_tasks;
   if Obs.on Obs.Info then
     Obs.emit
       (E.make ~task:obs_task ~task_id:obs_tid
-         ~args:[ ("rank", E.I rank); ("task", E.S task) ]
+         ~args:([ ("rank", E.I rank); ("task", E.S task) ] @ ctx_args)
          E.Task_start);
   let ws = ref (Registry.build_workspace registry snapshot) in
   let send up = Sm_util.Bqueue.push upstream (Wire.seal_control (C.encode Wire.up_codec up)) in
@@ -49,7 +54,7 @@ let run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot (
     if Obs.on Obs.Info then
       Obs.emit
         (E.make ~task:obs_task ~task_id:obs_tid
-           ~args:[ ("status", E.S status); ("rank", E.I rank) ]
+           ~args:([ ("status", E.S status); ("rank", E.I rank) ] @ ctx_args)
            E.Task_end)
   in
   match Registry.find_task registry task ctx with
@@ -68,12 +73,15 @@ let node_loop ~rank ~registry ~upstream ~down () =
     match Sm_util.Bqueue.pop down with
     | None -> List.iter Thread.join threads (* channel closed: abandon ship *)
     | Some bytes -> (
-      match C.decode Wire.down_codec (Wire.open_control bytes) with
+      let tctx, payload = Wire.open_control_rich bytes in
+      match C.decode Wire.down_codec payload with
       | Wire.Spawn { uid; task; argument; snapshot } ->
         let mailbox = Sm_util.Bqueue.create () in
         Hashtbl.replace mailboxes uid mailbox;
         let thread =
-          Thread.create (run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot) ()
+          Thread.create
+            (run_task ~registry ~rank ~upstream ~mailbox ~uid ~task ~argument ~snapshot ~tctx)
+            ()
         in
         loop (thread :: threads)
       | Wire.Reply { uid; granted; snapshot } ->

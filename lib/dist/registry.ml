@@ -53,6 +53,10 @@ let find_value t id =
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Registry: unknown wire id %d" id)
 
+let wire_name t id =
+  let (V rk) = find_value t id in
+  Ws.key_name rk.wkey
+
 (* --- task ctx -------------------------------------------------------------- *)
 
 let read ctx rk = Ws.read !(ctx.ws) rk.wkey
@@ -158,12 +162,13 @@ let apply_delta t ~into ~cursor entries =
     entries
 
 let merge_edit t ~into ~base_rev entries =
-  List.iter
-    (fun (id, bytes) ->
+  List.fold_left
+    (fun acc (id, bytes) ->
       let (V rk) = find_value t id in
       let ops = Sm_util.Codec.decode (Sm_util.Codec.list rk.op_codec) bytes in
-      Ws.merge_ops into rk.wkey ~ops ~base_version:(base_rev id))
-    entries
+      Ws.merge_ops into rk.wkey ~ops ~base_version:(base_rev id);
+      acc + List.length ops)
+    0 entries
 
 let merge_journal t ~into ~base entries =
   List.iter

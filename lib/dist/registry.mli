@@ -40,6 +40,11 @@ val workspace_key : ('s, 'o) rkey -> ('s, 'o) Sm_mergeable.Workspace.key
 (** The underlying workspace key — use it to initialize the coordinator's
     workspace and to read results. *)
 
+val wire_name : t -> int -> string
+(** The registration name behind a wire id — what the conflict profiler
+    prints for a document.
+    @raise Invalid_argument on an unknown id. *)
+
 (** {1 Task bodies (run on nodes)} *)
 
 type ctx
@@ -129,10 +134,12 @@ val merge_edit :
   into:Sm_mergeable.Workspace.t ->
   base_rev:(int -> int) ->
   (int * string) list ->
-  unit
+  int
 (** OT-merge a client's pending operations, recorded against revision
     [base_rev wire_id] of each value, into the shard's authoritative
-    workspace — {!merge_journal} with integer bases. *)
+    workspace — {!merge_journal} with integer bases.  Returns the number of
+    operations merged (summed across entries), which the shard's conflict
+    profiler attributes per document by calling this entry-by-entry. *)
 
 val find_task : t -> string -> ctx -> unit
 (** @raise Not_found for unregistered task names. *)

@@ -5,13 +5,28 @@ module C = Sm_util.Codec
 module Frame = struct
   exception Bad_frame of string
 
+  exception
+    Unsupported_version of
+      { got : int
+      ; speaks : int
+      }
+
   type kind =
     | Control
     | Delta
     | Snapshot
 
   let magic = "SM"
-  let version = 1
+
+  (* Version 1: magic, u16 version, kind byte, u32 payload length, payload.
+     Version 2 appends an optional trace context between header and
+     payload: a u8 context length then that many context bytes (the
+     {!Sm_obs.Trace_ctx.codec} encoding).  [seal] without a context still
+     emits version 1 byte-for-byte — observability off leaves the wire
+     image exactly as it was, which is what the overhead gate measures —
+     and [open_] accepts both, so pre-context peers interoperate. *)
+  let version = 2
+  let min_version = 1
 
   let kind_to_string = function Control -> "control" | Delta -> "delta" | Snapshot -> "snapshot"
   let kind_tag = function Control -> 0 | Delta -> 1 | Snapshot -> 2
@@ -24,18 +39,35 @@ module Frame = struct
 
   let header_len = 2 + 2 + 1 + 4 (* magic + u16 version + kind + u32 length *)
 
-  let seal kind payload =
+  let ctx_bytes ctx = C.encode Sm_obs.Trace_ctx.codec ctx
+
+  let seal ?ctx kind payload =
     let n = String.length payload in
     if n > 0xFFFF_FFFF then invalid_arg "Wire.Frame.seal: payload too large";
-    let b = Bytes.create (header_len + n) in
-    Bytes.blit_string magic 0 b 0 2;
-    Bytes.set_uint16_be b 2 version;
-    Bytes.set_uint8 b 4 (kind_tag kind);
-    Bytes.set_int32_be b 5 (Int32.of_int n);
-    Bytes.blit_string payload 0 b header_len n;
-    Bytes.unsafe_to_string b
+    match ctx with
+    | None ->
+      let b = Bytes.create (header_len + n) in
+      Bytes.blit_string magic 0 b 0 2;
+      Bytes.set_uint16_be b 2 min_version;
+      Bytes.set_uint8 b 4 (kind_tag kind);
+      Bytes.set_int32_be b 5 (Int32.of_int n);
+      Bytes.blit_string payload 0 b header_len n;
+      Bytes.unsafe_to_string b
+    | Some ctx ->
+      let cb = ctx_bytes ctx in
+      let cn = String.length cb in
+      if cn > 0xFF then invalid_arg "Wire.Frame.seal: context too large";
+      let b = Bytes.create (header_len + 1 + cn + n) in
+      Bytes.blit_string magic 0 b 0 2;
+      Bytes.set_uint16_be b 2 version;
+      Bytes.set_uint8 b 4 (kind_tag kind);
+      Bytes.set_int32_be b 5 (Int32.of_int n);
+      Bytes.set_uint8 b header_len cn;
+      Bytes.blit_string cb 0 b (header_len + 1) cn;
+      Bytes.blit_string payload 0 b (header_len + 1 + cn) n;
+      Bytes.unsafe_to_string b
 
-  let open_ frame =
+  let open_rich frame =
     let len = String.length frame in
     if len < header_len then
       raise (Bad_frame (Printf.sprintf "short frame: %d bytes (< %d-byte header)" len header_len));
@@ -44,29 +76,58 @@ module Frame = struct
         (Bad_frame
            (Printf.sprintf "bad magic %S: not a Spawn/Merge frame" (String.sub frame 0 2)));
     let v = String.get_uint16_be frame 2 in
-    if v <> version then
-      raise
-        (Bad_frame
-           (Printf.sprintf "unsupported frame version %d (this build speaks version %d)" v version));
+    if v < min_version || v > version then raise (Unsupported_version { got = v; speaks = version });
     let kind = kind_of_tag (String.get_uint8 frame 4) in
     let n = Int32.to_int (String.get_int32_be frame 5) land 0xFFFF_FFFF in
-    if len - header_len <> n then
-      raise
-        (Bad_frame
-           (Printf.sprintf "frame length mismatch: header says %d payload bytes, got %d" n
-              (len - header_len)));
-    (kind, String.sub frame header_len n)
+    if v = min_version then begin
+      if len - header_len <> n then
+        raise
+          (Bad_frame
+             (Printf.sprintf "frame length mismatch: header says %d payload bytes, got %d" n
+                (len - header_len)));
+      (kind, None, String.sub frame header_len n)
+    end
+    else begin
+      if len < header_len + 1 then raise (Bad_frame "version-2 frame truncated before context");
+      let cn = String.get_uint8 frame header_len in
+      if len - header_len - 1 - cn <> n then
+        raise
+          (Bad_frame
+             (Printf.sprintf "frame length mismatch: header says %d payload bytes, got %d" n
+                (len - header_len - 1 - cn)));
+      let ctx =
+        if cn = 0 then None
+        else
+          match C.decode Sm_obs.Trace_ctx.codec (String.sub frame (header_len + 1) cn) with
+          | ctx -> Some ctx
+          | exception C.Decode_error msg ->
+            raise (Bad_frame (Printf.sprintf "bad frame context: %s" msg))
+      in
+      (kind, ctx, String.sub frame (header_len + 1 + cn) n)
+    end
+
+  let open_ frame =
+    let kind, _ctx, payload = open_rich frame in
+    (kind, payload)
 end
 
-let seal_control payload = Frame.seal Frame.Control payload
+let seal_control ?ctx payload = Frame.seal ?ctx Frame.Control payload
 
-let open_control frame =
-  match Frame.open_ frame with
-  | Frame.Control, payload -> payload
-  | k, _ ->
+let control_payload kind payload =
+  match kind with
+  | Frame.Control -> payload
+  | k ->
     raise
       (Frame.Bad_frame
          (Printf.sprintf "expected a control frame, got a %s frame" (Frame.kind_to_string k)))
+
+let open_control frame =
+  let kind, payload = Frame.open_ frame in
+  control_payload kind payload
+
+let open_control_rich frame =
+  let kind, ctx, payload = Frame.open_rich frame in
+  (ctx, control_payload kind payload)
 
 type entries = (int * string) list
 

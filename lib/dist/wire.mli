@@ -11,8 +11,17 @@
     {!Frame.Bad_frame} instead of a deep decode exception. *)
 module Frame : sig
   exception Bad_frame of string
-  (** Malformed header: wrong magic, unsupported version, unknown kind, or
-      payload length disagreeing with the header. *)
+  (** Malformed header: wrong magic, unknown kind, or payload length
+      disagreeing with the header. *)
+
+  exception
+    Unsupported_version of
+      { got : int
+      ; speaks : int
+      }
+  (** The frame's version is outside [[min_version, version]] — a peer
+      from an incompatible build.  Typed separately from {!Bad_frame} so
+      callers can distinguish "corrupt bytes" from "wrong build". *)
 
   type kind =
     | Control  (** coordinator/node protocol messages ({!down}/{!up}) *)
@@ -20,25 +29,43 @@ module Frame : sig
     | Snapshot  (** full encoded states (shard fallback sync) *)
 
   val version : int
-  (** The frame version this build speaks (u16 on the wire). *)
+  (** The newest frame version this build speaks (u16 on the wire).
+      Version 2 added the optional trace context. *)
+
+  val min_version : int
+  (** The oldest version still accepted: pre-context (version 1) frames
+      decode forever. *)
 
   val kind_to_string : kind -> string
 
-  val seal : kind -> string -> string
+  val seal : ?ctx:Sm_obs.Trace_ctx.t -> kind -> string -> string
   (** Prefix [payload] with the 9-byte header: magic ["SM"], u16 version,
-      kind byte, u32 payload length. *)
+      kind byte, u32 payload length.  Without [?ctx] this emits a version-1
+      frame byte-identical to pre-context builds; with it, a version-2
+      frame carrying the context (u8 length + encoded context) between
+      header and payload. *)
 
   val open_ : string -> kind * string
-  (** Strip and validate the header. @raise Bad_frame as described above. *)
+  (** Strip and validate the header, accepting versions 1 and 2 (any
+      context is dropped).
+      @raise Bad_frame as described above.
+      @raise Unsupported_version on a version outside the accepted range. *)
+
+  val open_rich : string -> kind * Sm_obs.Trace_ctx.t option * string
+  (** {!open_}, but surface the trace context when the frame carries one. *)
 end
 
-val seal_control : string -> string
+val seal_control : ?ctx:Sm_obs.Trace_ctx.t -> string -> string
 (** [Frame.seal Control] — the coordinator/node link carries only control
     frames. *)
 
 val open_control : string -> string
 (** Unwrap a frame that must be {!Frame.Control}.
-    @raise Frame.Bad_frame on malformed frames or any other kind. *)
+    @raise Frame.Bad_frame on malformed frames or any other kind.
+    @raise Frame.Unsupported_version on a version outside the accepted range. *)
+
+val open_control_rich : string -> Sm_obs.Trace_ctx.t option * string
+(** {!open_control}, surfacing the trace context. *)
 
 type entries = (int * string) list
 

@@ -1,6 +1,7 @@
 module Load = Sm_shard.Load
 module Service = Sm_shard.Service
 module Rng = Sm_util.Det_rng
+module Obs = Sm_obs
 
 (* Pre-minted document set, shared by every scenario in the process: the
    cross-scheduler and Detsan checks run workloads under live observation,
@@ -131,7 +132,29 @@ type outcome =
       ; scenario : scenario
       ; shrunk : scenario
       ; shrink_steps : int
+      ; flight : (string * string list) list
+      ; flight_deterministic : bool
       }
+
+(* The post-mortem: replay the shrunk failing scenario once more with fresh
+   rings and take the flight dump — the hazard-triggered snapshot when the
+   failure path fired one (its rings are frozen at the moment of the nack /
+   chaos resume), the end-of-run rings otherwise (e.g. a plain convergence
+   miss).  Replaying twice checks the dump itself is deterministic: the
+   whole run is a function of the seed and dumps are structural, so the two
+   captures must be byte-identical — if they are not, the post-mortem is
+   untrustworthy and the report says so. *)
+let flight_of ~seed s =
+  let capture () =
+    Obs.Flight_recorder.reset ();
+    ignore (check_scenario ~seed s);
+    match Obs.Flight_recorder.last_trigger () with
+    | Some (_reason, dumps) -> dumps
+    | None -> Obs.Flight_recorder.dump_all ()
+  in
+  let d1 = capture () in
+  let d2 = capture () in
+  (d1, d1 = d2)
 
 let fuzz_one ~seed () =
   let s = scenario_of_seed seed in
@@ -139,4 +162,5 @@ let fuzz_one ~seed () =
   | Ok digest -> Passed digest
   | Error detail ->
     let shrunk, shrink_steps = shrink ~seed s in
-    Failed { detail; scenario = s; shrunk; shrink_steps }
+    let flight, flight_deterministic = flight_of ~seed shrunk in
+    Failed { detail; scenario = s; shrunk; shrink_steps; flight; flight_deterministic }

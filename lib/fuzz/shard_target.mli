@@ -42,6 +42,15 @@ type outcome =
       ; scenario : scenario
       ; shrunk : scenario
       ; shrink_steps : int
+      ; flight : (string * string list) list
+        (** flight-recorder post-mortem of the shrunk failure: per-lane
+            structural dump lines (the hazard-triggered snapshot when one
+            fired, the end-of-run rings otherwise) *)
+      ; flight_deterministic : bool
+        (** the dump replayed byte-identically on a second run of the
+            shrunk scenario *)
       }
 
 val fuzz_one : seed:int64 -> unit -> outcome
+(** {!check_scenario}, then on failure {!shrink} and replay the shrunk
+    scenario to capture its flight-recorder dump. *)

@@ -24,6 +24,11 @@ type kind =
   | Epoch_begin
   | Epoch_end
   | Delta_sync
+  | Req_begin
+  | Req_end
+  | Serve
+  | Epoch_merge
+  | Doc_merge
 
 type t =
   { seq : int
@@ -78,11 +83,16 @@ let kind_to_string = function
   | Epoch_begin -> "epoch_begin"
   | Epoch_end -> "epoch_end"
   | Delta_sync -> "delta_sync"
+  | Req_begin -> "req_begin"
+  | Req_end -> "req_end"
+  | Serve -> "serve"
+  | Epoch_merge -> "epoch_merge"
+  | Doc_merge -> "doc_merge"
 
 let all_kinds =
   [ Task_start; Task_end; Spawn; Clone; Merge_begin; Merge_child; Merge_end; Sync_begin
   ; Sync_end; Abort; Validation_fail; Phase_begin; Phase_end; Note; Epoch_begin; Epoch_end
-  ; Delta_sync
+  ; Delta_sync; Req_begin; Req_end; Serve; Epoch_merge; Doc_merge
   ]
 
 let kind_of_string s = List.find_opt (fun k -> String.equal (kind_to_string k) s) all_kinds
@@ -106,6 +116,11 @@ let kind_tag = function
   | Epoch_begin -> 14
   | Epoch_end -> 15
   | Delta_sync -> 16
+  | Req_begin -> 17
+  | Req_end -> 18
+  | Serve -> 19
+  | Epoch_merge -> 20
+  | Doc_merge -> 21
 
 let kind_of_tag = function
   | 0 -> Task_start
@@ -125,6 +140,11 @@ let kind_of_tag = function
   | 14 -> Epoch_begin
   | 15 -> Epoch_end
   | 16 -> Delta_sync
+  | 17 -> Req_begin
+  | 18 -> Req_end
+  | 19 -> Serve
+  | 20 -> Epoch_merge
+  | 21 -> Doc_merge
   | t -> raise (C.Decode_error (Printf.sprintf "Event.codec: unknown kind tag %d" t))
 
 let arg_codec : arg C.t =

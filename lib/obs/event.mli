@@ -51,6 +51,21 @@ type kind =
   | Delta_sync
       (** a shard answered a sync: ["mode"] of ["delta"]/["snapshot"],
           ["bytes"], and the counterfactual ["snapshot_bytes"] *)
+  | Req_begin
+      (** a client put a request in flight: ["req"], ["op"] of
+          ["hello"]/["resume"]/["edit"]/["poll"], plus {!Trace_ctx.args} *)
+  | Req_end
+      (** ...and saw its reply: ["req"], ["status"] of ["ok"]/["nack"],
+          same context as the matching [Req_begin] *)
+  | Serve
+      (** a shard served a request: ["op"], ["req"], ["session"], context
+          args parented on the client's request span *)
+  | Epoch_merge
+      (** one edit batch merged inside an epoch: ["ops"], ["eid"], context
+          args parented on the batch's [Serve] span *)
+  | Doc_merge
+      (** per-document epoch profile: ["doc"], ["ops"], ["transforms"],
+          ["compact_in"], ["compact_out"] — the conflict profiler's feed *)
 
 type t =
   { seq : int  (** process-wide emission number *)

@@ -19,7 +19,14 @@ let quantiles = [ 0.5; 0.9; 0.95; 0.99 ]
 
 (* Exposition floats: Prometheus accepts Go-syntax numerals; OCaml's %g is
    compatible for finite values, and non-finite samples are skipped at the
-   histogram layer (they cannot arise from Clock timing). *)
+   histogram layer below (they cannot arise from Clock timing, but nothing
+   stops a caller observing [infinity] as an open histogram bound).  This
+   mirrors — deliberately does NOT reuse — {!Json.float_repr}'s rule: Json
+   keeps the infinities as the overflowing numerals 1e999/-1e999 so a
+   [Metrics.dump] round-trips through {!Json.of_string}, whereas the
+   Prometheus text format has no such idiom, so here they are filtered
+   before the quantile/_sum/_count math rather than rendered.  [_count]
+   therefore counts finite samples only. *)
 let float_str f = Printf.sprintf "%g" f
 
 let render ~counters ~histograms =

@@ -1,0 +1,79 @@
+(** The flight recorder: an always-on bounded ring of recent events per
+    component, independent of the sink verbosity.
+
+    Tracing answers "what happened" when you asked in advance; the flight
+    recorder answers it after the fact.  Each component (one per shard
+    server, say) {!record}s its noteworthy events into a fixed ring at the
+    cost of one atomic load, a branch and a ring store; when something goes
+    wrong — a refused merge, a chaos-induced resume, a DetSan hazard — the
+    failure path {!trigger}s a snapshot of every registered ring and the
+    failure report ships the last-N-events post-mortem automatically.
+
+    Dumps are {e structural} JSONL (kind/task/args, no seq or timestamps),
+    so the same seeded failure dumps byte-identical post-mortems under both
+    executors — the fuzz targets assert exactly that. *)
+
+type t
+
+val create : ?capacity:int -> string -> t
+(** A recorder registered process-globally under [name] (newest instance
+    per name wins — re-created components keep one live ring per lane).
+    Default capacity {!default_capacity}.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val default_capacity : int
+
+val set_enabled : bool -> unit
+(** Global switch, default [true].  Off, {!record} is one atomic load and a
+    branch — the overhead bench gates that the default-on cost stays within
+    noise of this. *)
+
+val enabled : unit -> bool
+
+val record : t -> Event.t -> unit
+(** Append, evicting the oldest event once the ring is full. *)
+
+val name : t -> string
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val recorded : t -> int
+(** Total events ever recorded, evicted ones included. *)
+
+val clear : t -> unit
+
+val events : t -> Event.t list
+(** Ring contents, oldest first. *)
+
+val dump_lines : t -> string list
+(** Structural JSONL lines (kind/task/structural args — no [seq]/[ts_ns]),
+    oldest first: deterministic for a deterministic workload. *)
+
+val all : unit -> (string * t) list
+(** Registered recorders, sorted by name. *)
+
+val dump_all : unit -> (string * string list) list
+(** [dump_lines] of every registered recorder, by name. *)
+
+(** {1 Hazard-triggered dumps} *)
+
+val trigger : reason:string -> unit
+(** Snapshot every ring now (a failure is being reported); retrievable via
+    {!last_trigger} until the next trigger or {!clear_trigger}. *)
+
+val last_trigger : unit -> (string * (string * string list) list) option
+(** [(reason, dumps)] of the most recent {!trigger}. *)
+
+val clear_trigger : unit -> unit
+
+val reset : unit -> unit
+(** Forget every registered recorder and any pending trigger — run
+    isolation for loops that re-create components with varying lane sets
+    (a shrunk 1-shard replay must not dump a previous 4-shard run's stale
+    rings). *)
+
+val write_dir : string -> unit
+(** Write every recorder's dump to [dir/<lane>.flight.jsonl] (creating
+    [dir] if needed) — the CI artifact path. *)

@@ -21,9 +21,12 @@ module Trace_jsonl = Trace_jsonl
 module Trace_chrome = Trace_chrome
 module Trace_model = Trace_model
 module Trace_diff = Trace_diff
+module Trace_ctx = Trace_ctx
+module Trace_stitch = Trace_stitch
 module Critical_path = Critical_path
 module Attribution = Attribution
 module Expo = Expo
+module Flight_recorder = Flight_recorder
 
 type level = Verbosity.level =
   | Off

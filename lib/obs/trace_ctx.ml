@@ -1,0 +1,75 @@
+module C = Sm_util.Codec
+
+type t =
+  { trace : int
+  ; span : int
+  ; parent : int
+  }
+
+(* Ids are derived purely from names, never from counters or clocks, so the
+   same request in two runs (or under two executors) mints the same context
+   — the property the stitched-tree determinism oracle rests on.  FNV-1a
+   with a SplitMix64 finalizer (the Router's recipe) avalanches short
+   similar names; ids are folded to 62 bits so they survive the Codec's
+   OCaml-int varints on any platform. *)
+let mix h =
+  let open Int64 in
+  let h = logxor h (shift_right_logical h 30) in
+  let h = mul h 0xbf58476d1ce4e5b9L in
+  let h = logxor h (shift_right_logical h 27) in
+  let h = mul h 0x94d049bb133111ebL in
+  logxor h (shift_right_logical h 31)
+
+let id_of_string s = Int64.to_int (mix (Sm_util.Fnv.hash s)) land 0x3FFF_FFFF_FFFF_FFFF
+
+let span_of ~trace label = id_of_string (Printf.sprintf "%x/%s" trace label)
+
+let root label =
+  let trace = id_of_string label in
+  { trace; span = span_of ~trace label; parent = 0 }
+
+let child t label = { trace = t.trace; span = span_of ~trace:t.trace label; parent = t.span }
+
+let equal a b = a.trace = b.trace && a.span = b.span && a.parent = b.parent
+
+let to_string t = Printf.sprintf "t%x:s%x:p%x" t.trace t.span t.parent
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ t; sp; p ]
+    when String.length t > 1 && t.[0] = 't' && String.length sp > 1 && sp.[0] = 's'
+         && String.length p > 1 && p.[0] = 'p' -> (
+    let num field = int_of_string ("0x" ^ String.sub field 1 (String.length field - 1)) in
+    match (num t, num sp, num p) with
+    | trace, span, parent -> Some { trace; span; parent }
+    | exception _ -> None)
+  | _ -> None
+
+let codec : t C.t =
+  C.map
+    (fun t -> (t.trace, t.span, t.parent))
+    (fun (trace, span, parent) -> { trace; span; parent })
+    (C.triple C.int C.int C.int)
+
+(* The event-args embedding: contexts ride ordinary events, so the JSONL
+   sinks, the structural differ and the wire codec all carry them with no
+   schema change. *)
+let arg_trace = "trace"
+let arg_span = "span"
+let arg_parent = "parent"
+
+let args t =
+  [ (arg_trace, Event.I t.trace); (arg_span, Event.I t.span); (arg_parent, Event.I t.parent) ]
+
+let of_args args =
+  let int name =
+    match List.assoc_opt name args with Some (Event.I i) -> Some i | _ -> None
+  in
+  match (int arg_trace, int arg_span) with
+  | Some trace, Some span ->
+    Some { trace; span; parent = Option.value ~default:0 (int arg_parent) }
+  | _ -> None
+
+let of_event (e : Event.t) = of_args e.Event.args
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,49 @@
+(** Trace contexts: the compact trace-id/span-id triple that ties one
+    logical request together across processes.
+
+    A context is minted at the edge ({!root} on the client action), refined
+    at every hop ({!child} as the request crosses the wire into a shard and
+    again into the epoch merge), and carried two ways: as three integer
+    event args ({!args}) on ordinary {!Event}s, and as an optional field of
+    version-2 {!Sm_dist.Wire.Frame}s.  [sm-trace requests] then groups
+    per-rank JSONL lanes by [trace] and rebuilds the causal tree by
+    [span]/[parent] edges.
+
+    Ids are {e derived}, not allocated: FNV-1a over the label, avalanched,
+    folded to 62 bits.  Same labels ⇒ same ids in every run and under every
+    executor, which is what makes stitched trees byte-comparable across
+    runs — the cross-process extension of the structural trace-diff
+    oracle. *)
+
+type t =
+  { trace : int  (** the request tree's identity, shared by every hop *)
+  ; span : int  (** this hop *)
+  ; parent : int  (** the hop that caused it; 0 on roots *)
+  }
+
+val root : string -> t
+(** Mint a root context from a label (e.g. ["client3/req7"] or a user-level
+    action name).  Deterministic: same label, same context. *)
+
+val child : t -> string -> t
+(** A hop caused by [t]: same trace, fresh span derived from the label,
+    parent = [t.span]. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["t<hex>:s<hex>:p<hex>"] — also the {!of_string} form. *)
+
+val of_string : string -> t option
+val codec : t Sm_util.Codec.t
+
+(** {1 Event-args embedding} *)
+
+val args : t -> (string * Event.arg) list
+(** [[("trace", I _); ("span", I _); ("parent", I _)]] — prepend to an
+    event's args to put it on the request tree. *)
+
+val of_args : (string * Event.arg) list -> t option
+val of_event : Event.t -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -79,6 +79,40 @@ let file_sink path =
       close_out oc)
     inner.Sink.emit
 
+(* Per-lane routing: one JSONL file per task name under [dir], so a
+   multi-component run (clients + shards in one process) leaves the same
+   lane-per-file layout a true multi-process run does — ready for
+   [Trace_stitch.of_files]. *)
+let dir_sink ?(lane = fun (e : Event.t) -> e.Event.task) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let lock = Mutex.create () in
+  let files : (string, out_channel) Hashtbl.t = Hashtbl.create 8 in
+  let sanitize name =
+    String.map
+      (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' as c -> c | _ -> '_')
+      name
+  in
+  let chan name =
+    match Hashtbl.find_opt files name with
+    | Some oc -> oc
+    | None ->
+      let oc = open_out (Filename.concat dir (sanitize name ^ ".jsonl")) in
+      Hashtbl.replace files name oc;
+      oc
+  in
+  Sink.make
+    ~flush:(fun () -> Mutex.protect lock (fun () -> Hashtbl.iter (fun _ oc -> flush oc) files))
+    ~close:(fun () ->
+      Mutex.protect lock (fun () ->
+          Hashtbl.iter (fun _ oc -> close_out oc) files;
+          Hashtbl.reset files))
+    (fun e ->
+      let line = event_to_line e in
+      Mutex.protect lock (fun () ->
+          let oc = chan (lane e) in
+          output_string oc line;
+          output_char oc '\n'))
+
 let fold_channel ic ~init ~f =
   let rec go acc =
     match input_line ic with

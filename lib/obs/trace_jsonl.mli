@@ -27,6 +27,13 @@ val sink : out_channel -> Sink.t
 val file_sink : string -> Sink.t
 (** {!sink} on a fresh file; closing the sink closes the file. *)
 
+val dir_sink : ?lane:(Event.t -> string) -> string -> Sink.t
+(** Route each event to [dir/<lane e>.jsonl] (default lane: the emitting
+    task's name, sanitized), creating [dir] and lane files on demand — a
+    single-process run leaves the same lane-per-file layout a multi-process
+    run does, ready for {!Trace_stitch.of_files}.  Closing the sink closes
+    every lane file. *)
+
 val events_of_channel : in_channel -> Event.t list
 
 val fold : string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a

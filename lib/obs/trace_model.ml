@@ -61,12 +61,26 @@ type task =
   ; mutable epoch_edits : int
   ; mutable delta_bytes : int
   ; mutable snapshot_bytes : int
+  ; mutable requests : int
+  ; mutable served : int
   ; mutable first_ts : int
   ; mutable last_ts : int
   }
 
+(* Per-document conflict profile, fed by [Doc_merge] events: which documents
+   draw the transform storms and how well their journals compact. *)
+type doc_stat =
+  { doc : string
+  ; mutable d_merges : int
+  ; mutable d_ops : int
+  ; mutable d_transforms : int
+  ; mutable d_compact_in : int
+  ; mutable d_compact_out : int
+  }
+
 type t =
   { tasks : (int, task) Hashtbl.t
+  ; docs : (string, doc_stat) Hashtbl.t
   ; mutable order : int list  (* reverse first-appearance while building *)
   ; mutable events : int
   ; mutable t0 : int
@@ -92,6 +106,7 @@ type builder =
 let create_builder () =
   { model =
       { tasks = Hashtbl.create 64
+      ; docs = Hashtbl.create 16
       ; order = []
       ; events = 0
       ; t0 = max_int
@@ -130,6 +145,8 @@ let find_or_create b ~name ~id ts =
       ; epoch_edits = 0
       ; delta_bytes = 0
       ; snapshot_bytes = 0
+      ; requests = 0
+      ; served = 0
       ; first_ts = ts
       ; last_ts = ts
       }
@@ -254,7 +271,26 @@ let add_event b (e : Event.t) =
     | Some "delta" ->
       t.delta_bytes <- t.delta_bytes + bytes;
       t.snapshot_bytes <- t.snapshot_bytes + Option.value ~default:0 (int_arg "snapshot_bytes" e)
-    | _ -> t.snapshot_bytes <- t.snapshot_bytes + bytes));
+    | _ -> t.snapshot_bytes <- t.snapshot_bytes + bytes)
+  | Event.Req_begin -> t.requests <- t.requests + 1
+  | Event.Req_end -> ()
+  | Event.Serve -> t.served <- t.served + 1
+  | Event.Epoch_merge -> ()
+  | Event.Doc_merge ->
+    let doc = Option.value ~default:"?" (str_arg "doc" e) in
+    let d =
+      match Hashtbl.find_opt m.docs doc with
+      | Some d -> d
+      | None ->
+        let d = { doc; d_merges = 0; d_ops = 0; d_transforms = 0; d_compact_in = 0; d_compact_out = 0 } in
+        Hashtbl.replace m.docs doc d;
+        d
+    in
+    d.d_merges <- d.d_merges + 1;
+    d.d_ops <- d.d_ops + Option.value ~default:0 (int_arg "ops" e);
+    d.d_transforms <- d.d_transforms + Option.value ~default:0 (int_arg "transforms" e);
+    d.d_compact_in <- d.d_compact_in + Option.value ~default:0 (int_arg "compact_in" e);
+    d.d_compact_out <- d.d_compact_out + Option.value ~default:0 (int_arg "compact_out" e));
   t.last_ts <- max t.last_ts e.ts_ns
 
 let finish b =
@@ -317,6 +353,15 @@ let blocked_ns t = merge_wait_ns t + sync_wait_ns t
 let self_ns t = max 0 (span_ns t - blocked_ns t)
 
 let merge_records (t : task) = List.concat_map (fun s -> List.rev s.m_children) t.merges
+
+(* Hottest first: transform calls are the conflict cost the profiler is
+   hunting; ties break on ops then name so the table is deterministic. *)
+let doc_stats m =
+  Hashtbl.fold (fun _ d acc -> d :: acc) m.docs []
+  |> List.sort (fun a b ->
+         match compare b.d_transforms a.d_transforms with
+         | 0 -> ( match compare b.d_ops a.d_ops with 0 -> compare a.doc b.doc | c -> c)
+         | c -> c)
 
 let main_root m =
   List.fold_left

@@ -1,0 +1,126 @@
+(* Cross-replica trace stitching: several per-rank (or per-process) JSONL
+   lanes go in, one causal tree per request comes out.  Events that carry a
+   {!Trace_ctx} (as "trace"/"span"/"parent" int args) are grouped by trace
+   id across every lane, then linked span -> parent-span; everything the
+   renderer prints is structural (lane names, kinds, args — never seq or
+   timestamps), so the stitched view of a deterministic run is
+   byte-identical across executors and reruns. *)
+
+type span =
+  { ctx : Trace_ctx.t
+  ; mutable events : (string * Event.t) list  (* (lane, event) *)
+  ; mutable children : span list
+  ; mutable dangling : bool  (* parent <> 0 but never seen: orphaned root *)
+  }
+
+type trace =
+  { trace_id : int
+  ; roots : span list
+  ; span_count : int
+  ; event_count : int
+  }
+
+(* Lanes are stitched in the caller-supplied order and events keep their
+   in-lane order (the JSONL sink serializes writers, so in-lane order is
+   emission order — deterministic whenever the run is). *)
+let stitch lanes =
+  let spans : (int * int, span) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (lane, events) ->
+      List.iter
+        (fun (e : Event.t) ->
+          match Trace_ctx.of_event e with
+          | None -> ()
+          | Some ctx ->
+            let key = (ctx.Trace_ctx.trace, ctx.Trace_ctx.span) in
+            let s =
+              match Hashtbl.find_opt spans key with
+              | Some s -> s
+              | None ->
+                let s = { ctx; events = []; children = []; dangling = false } in
+                Hashtbl.replace spans key s;
+                order := key :: !order;
+                s
+            in
+            s.events <- (lane, e) :: s.events)
+        events)
+    lanes;
+  let all = List.rev_map (fun key -> Hashtbl.find spans key) !order in
+  List.iter (fun s -> s.events <- List.rev s.events) all;
+  (* Link children; spans whose parent never showed up in any lane stay
+     roots, flagged dangling so the renderer can say so. *)
+  let traces : (int, span list ref) Hashtbl.t = Hashtbl.create 16 in
+  let trace_order = ref [] in
+  List.iter
+    (fun s ->
+      let tid = s.ctx.Trace_ctx.trace in
+      let roots =
+        match Hashtbl.find_opt traces tid with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace traces tid r;
+          trace_order := tid :: !trace_order;
+          r
+      in
+      let parent = s.ctx.Trace_ctx.parent in
+      if parent = 0 then roots := s :: !roots
+      else
+        match Hashtbl.find_opt spans (tid, parent) with
+        | Some p -> p.children <- s :: p.children
+        | None ->
+          s.dangling <- true;
+          roots := s :: !roots)
+    all;
+  (* Deterministic shape regardless of lane arrival order: children and
+     roots sort by span id (label-derived, so stable across runs). *)
+  let by_span a b = compare a.ctx.Trace_ctx.span b.ctx.Trace_ctx.span in
+  List.iter (fun s -> s.children <- List.sort by_span s.children) all;
+  let rec count_spans s = 1 + List.fold_left (fun a c -> a + count_spans c) 0 s.children
+  and count_events s =
+    List.length s.events + List.fold_left (fun a c -> a + count_events c) 0 s.children
+  in
+  List.rev_map
+    (fun tid ->
+      let roots = List.sort by_span !(Hashtbl.find traces tid) in
+      { trace_id = tid
+      ; roots
+      ; span_count = List.fold_left (fun a s -> a + count_spans s) 0 roots
+      ; event_count = List.fold_left (fun a s -> a + count_events s) 0 roots
+      })
+    !trace_order
+  |> List.sort (fun a b -> compare a.trace_id b.trace_id)
+
+let lane_of_file path = Filename.remove_extension (Filename.basename path)
+
+let of_files paths =
+  stitch (List.map (fun p -> (lane_of_file p, Trace_jsonl.load p)) paths)
+
+(* --- rendering --------------------------------------------------------------- *)
+
+let ctx_arg = function "trace" | "span" | "parent" -> true | _ -> false
+
+let pp_event ppf (lane, (e : Event.t)) =
+  Format.fprintf ppf "[%s] %s %s" lane (Event.kind_to_string e.Event.kind) e.Event.task;
+  List.iter
+    (fun (k, v) -> if not (ctx_arg k) then Format.fprintf ppf " %s=%a" k Event.pp_arg v)
+    (Event.structure e |> fun (_, _, args) -> args)
+
+let rec pp_span ppf ~indent s =
+  let pad = String.make indent ' ' in
+  Format.fprintf ppf "%sspan s%x%s@." pad s.ctx.Trace_ctx.span
+    (if s.dangling then Printf.sprintf " (orphan of s%x)" s.ctx.Trace_ctx.parent else "");
+  List.iter (fun le -> Format.fprintf ppf "%s  %a@." pad pp_event le) s.events;
+  List.iter (pp_span ppf ~indent:(indent + 2)) s.children
+
+let pp_trace ppf t =
+  Format.fprintf ppf "trace t%x: %d spans, %d events@." t.trace_id t.span_count t.event_count;
+  List.iter (pp_span ppf ~indent:2) t.roots
+
+let pp ppf traces =
+  Format.fprintf ppf "%d trace%s stitched@." (List.length traces)
+    (if List.length traces = 1 then "" else "s");
+  List.iter (fun t -> Format.fprintf ppf "@.%a" pp_trace t) traces
+
+let to_string traces = Format.asprintf "%a" pp traces

@@ -1,0 +1,46 @@
+(** Cross-replica trace stitching.
+
+    Takes the per-rank/per-process JSONL lanes a distributed run leaves
+    behind and rebuilds one causal tree per request: events carrying a
+    {!Trace_ctx} are grouped by trace id {e across} lanes, then linked by
+    their span/parent edges.  [sm-trace requests] is the CLI face.
+
+    Everything the renderer prints is structural — lane names, span ids
+    (label-derived), kinds, args; never [seq] or timestamps — so the
+    stitched view of a deterministic run is byte-identical across the
+    threaded and cooperative executors for the same seed.  That makes
+    stitched output diffable the same way single-lane traces are. *)
+
+(** One hop of a request: every event (from any lane) that carried this
+    span id, plus the hops it caused. *)
+type span =
+  { ctx : Trace_ctx.t
+  ; mutable events : (string * Event.t) list
+        (** [(lane, event)], lane order then in-lane emission order *)
+  ; mutable children : span list  (** sorted by span id *)
+  ; mutable dangling : bool
+        (** parent id never appeared in any lane (lost lane / truncated
+            trace): rendered as a root, flagged *)
+  }
+
+type trace =
+  { trace_id : int
+  ; roots : span list
+  ; span_count : int
+  ; event_count : int
+  }
+
+val stitch : (string * Event.t list) list -> trace list
+(** [(lane_name, events)] lanes in, traces out, sorted by trace id.
+    Events without a context are ignored. *)
+
+val of_files : string list -> trace list
+(** Load each path via {!Trace_jsonl.load}; lane name = basename minus
+    extension.
+    @raise Trace_jsonl.Decode_error on malformed lines. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+val pp : Format.formatter -> trace list -> unit
+
+val to_string : trace list -> string
+(** Full deterministic rendering, for diffing and tests. *)

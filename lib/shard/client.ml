@@ -1,12 +1,22 @@
 module Ws = Sm_mergeable.Workspace
 module Registry = Sm_dist.Registry
 module Netpipe = Sm_sim.Netpipe
+module Obs = Sm_obs
+module E = Sm_obs.Event
+
+(* Client trace lanes park above the distributed layer's (1_000_00x) and the
+   shard servers' (2_000_00x): one lane per editor. *)
+let obs_client_tid i = 3_000_000 + i
 
 type outstanding =
-  | Connect of { frame : string }  (* awaiting a Welcome *)
+  | Connect of
+      { frame : string
+      ; tctx : Obs.Trace_ctx.t option
+      }  (* awaiting a Welcome *)
   | Editing of
       { frame : string
       ; req : int
+      ; tctx : Obs.Trace_ctx.t option
       }  (* awaiting the Ack for [req] *)
 
 type t =
@@ -29,7 +39,47 @@ type t =
   ; mutable failed : string option
   ; mutable retransmits : int
   ; mutable resumes : int
+  ; obs_tid : int
+  ; parent : Obs.Trace_ctx.t option
+      (* the user action this session serves: request contexts nest under
+         it, so several sessions sharing a parent stitch into one tree *)
   }
+
+(* Request contexts are minted only when tracing is on: off, requests carry
+   no context and frames stay version 1 — the wire image of a silent run is
+   byte-identical to a pre-observability build. *)
+let mint t label =
+  if Obs.on Obs.Info then
+    Some
+      (match t.parent with
+      | Some p -> Obs.Trace_ctx.child p (t.name ^ "/" ^ label)
+      | None -> Obs.Trace_ctx.root (t.name ^ "/" ^ label))
+  else None
+
+let req_begin t ~op ~req tctx =
+  match tctx with
+  | None -> ()
+  | Some c ->
+    Obs.emit
+      (E.make ~task:t.name ~task_id:t.obs_tid
+         ~args:([ ("op", E.S op); ("req", E.I req) ] @ Obs.Trace_ctx.args c)
+         E.Req_begin)
+
+let req_end t ~status ~req tctx =
+  match tctx with
+  | None -> ()
+  | Some c ->
+    if Obs.on Obs.Info then
+      Obs.emit
+        (E.make ~task:t.name ~task_id:t.obs_tid
+           ~args:([ ("status", E.S status); ("req", E.I req) ] @ Obs.Trace_ctx.args c)
+           E.Req_end)
+
+let outstanding_finished t ~status =
+  match t.outstanding with
+  | Some (Connect { tctx; _ }) -> req_end t ~status ~req:0 tctx
+  | Some (Editing { req; tctx; _ }) -> req_end t ~status ~req tctx
+  | None -> ()
 
 let cursor_of t id = Option.value ~default:0 (Hashtbl.find_opt t.cursors id)
 let cursor_list t = Hashtbl.fold (fun id rev acc -> (id, rev) :: acc) t.cursors []
@@ -43,7 +93,7 @@ let send_new t frame =
   (match t.conn with Some c -> Netpipe.send c frame | None -> ());
   t.ticks_waiting <- 0
 
-let connect ~reg ~name ~init listener =
+let connect ~reg ~name ?(obs_tid = obs_client_tid 0) ?parent ~init listener =
   let shadow = Ws.create () in
   init shadow;
   let t =
@@ -66,11 +116,15 @@ let connect ~reg ~name ~init listener =
     ; failed = None
     ; retransmits = 0
     ; resumes = 0
+    ; obs_tid
+    ; parent
     }
   in
   reset_bases t;
-  let frame = Proto.seal_c2s (Proto.Hello { client = name }) in
-  t.outstanding <- Some (Connect { frame });
+  let tctx = mint t "hello" in
+  let frame = Proto.seal_c2s ?ctx:tctx (Proto.Hello { client = name }) in
+  req_begin t ~op:"hello" ~req:0 tctx;
+  t.outstanding <- Some (Connect { frame; tctx });
   send_new t frame;
   t
 
@@ -131,6 +185,7 @@ let handle_frame t frame =
          ever follow, so the epochs this welcome carried must reach the view
          here or the replica reports synced while rendering stale state. *)
       if t.pending_eid = None && pending_ops t = 0 then after_ack t;
+      outstanding_finished t ~status:"ok";
       t.outstanding <- None;
       t.ticks_waiting <- 0
     | _ -> () (* duplicate of an applied welcome *))
@@ -139,11 +194,14 @@ let handle_frame t frame =
     | Some (Editing { req = r; _ }) when req = r ->
       apply_payload t payload;
       t.last_acked_req <- req;
+      outstanding_finished t ~status:"ok";
       t.outstanding <- None;
       t.ticks_waiting <- 0;
       after_ack t
     | _ -> () (* replayed ack for an already-acked request *))
-  | Proto.Nack { reason; _ } -> t.failed <- Some reason
+  | Proto.Nack { reason; _ } ->
+    outstanding_finished t ~status:"nack";
+    t.failed <- Some reason
   | exception (Sm_dist.Wire.Frame.Bad_frame msg | Sm_util.Codec.Decode_error msg) ->
     t.failed <- Some msg
 
@@ -165,10 +223,12 @@ let flush t =
       let req = t.next_req in
       t.next_req <- t.next_req + 1;
       let session = Option.get t.session in
+      let tctx = mint t (Printf.sprintf "req%d" req) in
       let frame =
-        Proto.seal_c2s (Proto.Edit { session; req; eid; base = t.pending_base; ops })
+        Proto.seal_c2s ?ctx:tctx (Proto.Edit { session; req; eid; base = t.pending_base; ops })
       in
-      t.outstanding <- Some (Editing { frame; req });
+      req_begin t ~op:"edit" ~req tctx;
+      t.outstanding <- Some (Editing { frame; req; tctx });
       send_new t frame
   end
 
@@ -179,8 +239,10 @@ let poll t =
     let req = t.next_req in
     t.next_req <- t.next_req + 1;
     let session = Option.get t.session in
-    let frame = Proto.seal_c2s (Proto.Poll { session; req }) in
-    t.outstanding <- Some (Editing { frame; req });
+    let tctx = mint t (Printf.sprintf "req%d" req) in
+    let frame = Proto.seal_c2s ?ctx:tctx (Proto.Poll { session; req }) in
+    req_begin t ~op:"poll" ~req tctx;
+    t.outstanding <- Some (Editing { frame; req; tctx });
     send_new t frame
   end
 
@@ -196,8 +258,12 @@ let reissue_pending t =
     let ops = List.map (fun (id, _, _, bytes) -> (id, bytes)) entries in
     let req = t.next_req in
     t.next_req <- t.next_req + 1;
-    let frame = Proto.seal_c2s (Proto.Edit { session; req; eid; base = t.pending_base; ops }) in
-    t.outstanding <- Some (Editing { frame; req });
+    let tctx = mint t (Printf.sprintf "req%d" req) in
+    let frame =
+      Proto.seal_c2s ?ctx:tctx (Proto.Edit { session; req; eid; base = t.pending_base; ops })
+    in
+    req_begin t ~op:"edit" ~req tctx;
+    t.outstanding <- Some (Editing { frame; req; tctx });
     send_new t frame
   | _ -> ()
 
@@ -222,7 +288,7 @@ let tick t =
   | Some o ->
     t.ticks_waiting <- t.ticks_waiting + 1;
     if t.ticks_waiting >= t.retry_after then begin
-      let frame = match o with Connect { frame } | Editing { frame; _ } -> frame in
+      let frame = match o with Connect { frame; _ } | Editing { frame; _ } -> frame in
       (match t.conn with Some c -> Netpipe.send c frame | None -> ());
       t.retransmits <- t.retransmits + 1;
       t.ticks_waiting <- 0
@@ -239,18 +305,23 @@ let resume t listener =
   match t.session with
   | None ->
     t.conn <- Some (Netpipe.connect listener);
-    let frame = Proto.seal_c2s (Proto.Hello { client = t.name }) in
-    t.outstanding <- Some (Connect { frame });
+    let tctx = mint t "hello" in
+    let frame = Proto.seal_c2s ?ctx:tctx (Proto.Hello { client = t.name }) in
+    req_begin t ~op:"hello" ~req:0 tctx;
+    t.outstanding <- Some (Connect { frame; tctx });
     send_new t frame
   | Some session ->
     t.conn <- Some (Netpipe.connect listener);
     t.resumes <- t.resumes + 1;
     let req = t.next_req in
     t.next_req <- t.next_req + 1;
+    let tctx = mint t (Printf.sprintf "req%d" req) in
     let frame =
-      Proto.seal_c2s (Proto.Resume { session; req; cursors = List.sort compare (cursor_list t) })
+      Proto.seal_c2s ?ctx:tctx
+        (Proto.Resume { session; req; cursors = List.sort compare (cursor_list t) })
     in
-    t.outstanding <- Some (Connect { frame });
+    req_begin t ~op:"resume" ~req tctx;
+    t.outstanding <- Some (Connect { frame; tctx });
     send_new t frame
 
 let bye t =

@@ -24,12 +24,24 @@ type t
 val connect :
   reg:Sm_dist.Registry.t ->
   name:string ->
+  ?obs_tid:int ->
+  ?parent:Sm_obs.Trace_ctx.t ->
   init:(Sm_mergeable.Workspace.t -> unit) ->
   Sm_sim.Netpipe.listener ->
   t
 (** Open a session: seeds the local replica with [init] (which must match
     the server's — revision-0 states agree by construction) and sends
-    [Hello]. *)
+    [Hello].
+
+    [obs_tid] is the client's trace lane (default {!obs_client_tid}[ 0]).
+    [parent], when given, is the user action this session serves: every
+    request context nests under it, so sessions on {e different} shards
+    sharing one parent stitch into a single request tree.  When tracing is
+    off no contexts are minted and every frame stays wire version 1. *)
+
+val obs_client_tid : int -> int
+(** The trace lane for editor [i] — parked above the distributed layer's
+    and the shard servers' lanes. *)
 
 val tick : t -> unit
 val view : t -> Sm_mergeable.Workspace.t

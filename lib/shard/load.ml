@@ -74,7 +74,7 @@ type actor =
   ; mutable polled : bool  (* sent the drain-phase catch-up poll *)
   }
 
-let run ?docs profile =
+let run ?docs ?parent ?on_tick profile =
   if profile.clients < 0 then invalid_arg "Load.run: clients must be non-negative";
   if profile.ops_per_client < 0 then invalid_arg "Load.run: ops_per_client must be non-negative";
   if profile.burst_max <= 0 then invalid_arg "Load.run: burst_max must be positive";
@@ -104,6 +104,7 @@ let run ?docs profile =
         let name = Printf.sprintf "client%d" i in
         let client =
           Client.connect ~reg:(Service.registry docs) ~name
+            ~obs_tid:(Client.obs_client_tid i) ?parent
             ~init:(Service.client_init svc ~shard)
             (Service.listener svc shard)
         in
@@ -183,6 +184,7 @@ let run ?docs profile =
     if (not !drain) && quiesced () then drain := true;
     Service.tick svc;
     Array.iter (step ~drain:!drain) actors;
+    (match on_tick with Some f -> f !tick svc | None -> ());
     incr tick
   done;
   let failures =

@@ -57,9 +57,18 @@ type report =
   ; failures : (string * string) list  (** client name, Nack/decode reason *)
   }
 
-val run : ?docs:Service.docs -> profile -> report
+val run :
+  ?docs:Service.docs ->
+  ?parent:Sm_obs.Trace_ctx.t ->
+  ?on_tick:(int -> Service.t -> unit) ->
+  profile ->
+  report
 (** Run a workload to quiescence.  Pass [~docs] to reuse pre-minted
     documents (required when calling [run] repeatedly in one process with
     the same document names — registry keys must be minted once; the fuzz
     target does this).  The profile's [specs] are used only when [~docs] is
-    absent. *)
+    absent.  [?parent] is handed to every client as its trace root, so a
+    whole run's requests — across every shard — stitch into one causal
+    tree under that span (see {!Client.connect}).  [?on_tick] runs after
+    every simulation tick with the tick number and the live service — the
+    [sm-shard stats] periodic reporter; it must not mutate the service. *)

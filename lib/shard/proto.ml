@@ -145,17 +145,19 @@ let kind_of_s2c = function
   | Welcome { payload = Snap _; _ } | Ack { payload = Snap _; _ } -> Frame.Snapshot
   | Nack _ -> Frame.Control
 
-let seal_c2s msg = Frame.seal Frame.Control (C.encode c2s_codec msg)
+let seal_c2s ?ctx msg = Frame.seal ?ctx Frame.Control (C.encode c2s_codec msg)
 
-let open_c2s frame =
-  match Frame.open_ frame with
-  | Frame.Control, payload -> C.decode c2s_codec payload
-  | k, _ ->
+let open_c2s_ctx frame =
+  match Frame.open_rich frame with
+  | Frame.Control, ctx, payload -> (ctx, C.decode c2s_codec payload)
+  | k, _, _ ->
     raise
       (Frame.Bad_frame
          (Printf.sprintf "client frames are control frames, got %s" (Frame.kind_to_string k)))
 
-let seal_s2c msg = Frame.seal (kind_of_s2c msg) (C.encode s2c_codec msg)
+let open_c2s frame = snd (open_c2s_ctx frame)
+
+let seal_s2c ?ctx msg = Frame.seal ?ctx (kind_of_s2c msg) (C.encode s2c_codec msg)
 
 let open_s2c frame =
   let kind, payload = Frame.open_ frame in

@@ -64,11 +64,18 @@ type s2c =
       ; reason : string
       }
 
-val seal_c2s : c2s -> string
+val seal_c2s : ?ctx:Sm_obs.Trace_ctx.t -> c2s -> string
+(** With [?ctx], the request's trace context rides the frame (version 2);
+    without, the frame is version 1, byte-identical to pre-context builds. *)
+
 val open_c2s : string -> c2s
 (** @raise Sm_dist.Wire.Frame.Bad_frame / [Sm_util.Codec.Decode_error] *)
 
-val seal_s2c : s2c -> string
+val open_c2s_ctx : string -> Sm_obs.Trace_ctx.t option * c2s
+(** {!open_c2s}, surfacing the frame's trace context — how a shard joins
+    the client's request tree. *)
+
+val seal_s2c : ?ctx:Sm_obs.Trace_ctx.t -> s2c -> string
 val open_s2c : string -> s2c
 (** Additionally checks the frame kind agrees with the payload.
     @raise Sm_dist.Wire.Frame.Bad_frame on disagreement. *)

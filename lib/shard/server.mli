@@ -24,6 +24,19 @@ type mode =
   | `Snapshot  (** replies ship full states — the byte-accounting baseline *)
   ]
 
+(** Per-document conflict profile: how many epoch merges touched the
+    document, the operations and OT transform calls they took, and the
+    journal-compaction in/out op counts — the live feed of the conflict
+    profiler ([sm-shard stats] hot-documents table).  Transform/compaction
+    deltas are only recorded while {!Sm_obs.Metrics} is enabled. *)
+type doc_stat =
+  { mutable d_merges : int
+  ; mutable d_ops : int
+  ; mutable d_transforms : int
+  ; mutable d_compact_in : int
+  ; mutable d_compact_out : int
+  }
+
 val create :
   reg:Sm_dist.Registry.t ->
   shard_id:int ->
@@ -54,6 +67,29 @@ val snapshot_bytes_sent : t -> int
 val epochs_run : t -> int
 val edits_merged : t -> int
 val session_count : t -> int
+
+val shard_id : t -> int
+
+val replayed_replies : t -> int
+(** Reply-cache hits: duplicate requests answered by resending the cached
+    frame (the fault plane's dup/reorder signature). *)
+
+val rejected_frames : t -> int
+(** Undecodable or version-incompatible frames dropped. *)
+
+val nacks_sent : t -> int
+
+val max_cursor_lag : t -> int
+(** The worst catch-up debt any live session carries: head revisions not
+    yet shipped to it, summed across documents. *)
+
+val doc_stats : t -> (string * doc_stat) list
+(** Hottest documents first (most transform calls, then most ops). *)
+
+val recorder : t -> Sm_obs.Flight_recorder.t
+(** The shard's flight ring (registered under {!obs_shard_name}); every
+    served request, epoch bracket, rejection and nack is recorded here
+    regardless of sink verbosity. *)
 
 (** {1 Observability conventions} *)
 

@@ -101,6 +101,10 @@ let digests t = Array.to_list (Array.map Server.digest t.shards)
 
 let client_init t ~shard ws = List.iter (init_doc ws) t.by_shard.(shard)
 
+let servers t = Array.to_list t.shards
+let stats_report ?limit t = Shard_metrics.report ?limit (servers t)
+let expo_text t = Shard_metrics.expo_text (servers t)
+
 let delta_bytes_sent t = Array.fold_left (fun a s -> a + Server.delta_bytes_sent s) 0 t.shards
 
 let snapshot_bytes_sent t =

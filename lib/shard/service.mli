@@ -68,6 +68,18 @@ val digests : t -> string list
 
 val idle : t -> bool
 
+(** {1 Live stats} *)
+
+val servers : t -> Server.t list
+(** The shard servers in shard order — the feed for {!Shard_metrics}. *)
+
+val stats_report : ?limit:int -> t -> string
+(** {!Shard_metrics.report} over every shard (what [sm-shard stats]
+    prints); [limit] bounds the hot-documents table. *)
+
+val expo_text : t -> string
+(** {!Shard_metrics.expo_text} over every shard. *)
+
 (** {1 Aggregate counters (summed over shards)} *)
 
 val delta_bytes_sent : t -> int

@@ -1,0 +1,45 @@
+(** Per-shard live metrics: point-in-time snapshot rows built from
+    {!Server}'s accounting accessors and the per-shard merge-latency
+    histogram, rendered three ways — an [sm-top]-style text table
+    ({!report}, what [sm-shard stats] prints), a hot-documents conflict
+    table aggregated over shards, and a Prometheus text exposition
+    ({!expo_text}) that extends the live {!Sm_obs.Metrics} registry with
+    per-shard and {!Sm_sim.Netpipe} fault-plane counters.
+
+    Snapshots read live servers; nothing here mutates them, so a report can
+    be taken mid-run (between ticks) without perturbing determinism. *)
+
+type row =
+  { shard : int
+  ; sessions : int
+  ; cursor_lag : int  (** {!Server.max_cursor_lag} *)
+  ; epochs : int
+  ; edits : int
+  ; replays : int  (** reply-cache hits *)
+  ; rejects : int
+  ; nacks : int
+  ; delta_bytes : int
+  ; snapshot_bytes : int
+  ; merge_p50_ns : float option  (** [None] until the shard has merged with metrics on *)
+  ; merge_p95_ns : float option
+  }
+
+val row_of_server : Server.t -> row
+val rows : Server.t list -> row list
+
+val hot_docs : ?limit:int -> Server.t list -> (string * Server.doc_stat) list
+(** The conflict profiler's table: per-document stats summed across shards
+    (documents are sharded disjointly, so at most one shard contributes per
+    document), hottest first — most transform calls, then most ops, then
+    name.  At most [limit] (default 10) rows. *)
+
+val pp_rows : Format.formatter -> row list -> unit
+val pp_hot_docs : Format.formatter -> (string * Server.doc_stat) list -> unit
+val pp_net : Format.formatter -> Sm_sim.Netpipe.stats -> unit
+
+val report : ?limit:int -> Server.t list -> string
+(** The full text report: shard table, hot documents, fault-plane line. *)
+
+val expo_text : Server.t list -> string
+(** Prometheus exposition of the live registry plus per-shard rows
+    ([sm_shard0_sessions], ...) and Netpipe counters ([sm_net_sends], ...). *)

@@ -159,6 +159,37 @@ let cross_scheduler_timeout () =
   | (_ : bool) -> Alcotest.fail "expected Timeout"
   | exception Detcheck.Timeout diag -> check_bool "diagnostic present" (String.length diag > 0)
 
+(* A hazard is a crash-grade moment: DetSan must freeze every flight ring
+   into a post-mortem snapshot the instant it fires, so the fuzz report can
+   embed the last-N events that led up to it. *)
+let hazard_triggers_flight_dump () =
+  Fun.protect ~finally:(fun () -> Sm_obs.Flight_recorder.reset ())
+  @@ fun () ->
+  Sm_obs.Flight_recorder.reset ();
+  let r = Sm_obs.Flight_recorder.create ~capacity:8 "detsan_lane" in
+  Sm_obs.Flight_recorder.record r
+    (Sm_obs.Event.make ~task:"detsan_lane" ~task_id:1
+       ~args:[ ("op", Sm_obs.Event.S "before-hazard") ]
+       Sm_obs.Event.Note);
+  let hazards, _ =
+    Detsan.run (fun ctx ->
+        let fresh = Mc.key ~name:"test_detsan.flight_fresh" in
+        Ws.init (Rt.workspace ctx) fresh 1)
+  in
+  check_bool "the seeded hazard fired" (hazards <> []);
+  match Sm_obs.Flight_recorder.last_trigger () with
+  | Some (reason, dumps) ->
+    check_bool "reason names detsan"
+      (String.length reason >= 6 && String.sub reason 0 6 = "detsan");
+    (match List.assoc_opt "detsan_lane" dumps with
+    | Some [ line ] ->
+      check_bool "snapshot froze the pre-hazard event"
+        (match Sm_obs.Json.of_string line with
+        | Sm_obs.Json.Obj fields -> List.mem_assoc "args" fields
+        | _ -> false)
+    | _ -> Alcotest.fail "snapshot must hold exactly the one recorded event")
+  | None -> Alcotest.fail "a hazard must trigger a flight snapshot"
+
 let suite =
   [ Alcotest.test_case "clean program has no hazards" `Quick clean_is_clean
   ; Alcotest.test_case "merge_any is flagged" `Quick merge_any_flagged
@@ -166,6 +197,7 @@ let suite =
   ; Alcotest.test_case "unmerged children are flagged" `Quick unmerged_children_flagged
   ; Alcotest.test_case "op after digest is flagged" `Quick op_after_digest_flagged
   ; Alcotest.test_case "hazards deduplicate" `Quick hazards_dedup
+  ; Alcotest.test_case "hazard triggers a flight snapshot" `Quick hazard_triggers_flight_dump
   ; Alcotest.test_case "sanitized program stays deterministic" `Quick
       sanitized_program_still_deterministic
   ; Alcotest.test_case "observe uninstalls hooks on failure" `Quick observe_uninstalls

@@ -253,6 +253,78 @@ let cluster_reuse () =
         Alcotest.(check int) (Printf.sprintf "round %d" round) round v
       done)
 
+(* --- wire-frame version negotiation ------------------------------------------ *)
+
+module Frame = Sm_dist.Wire.Frame
+
+let frame_v1_compat () =
+  (* A ctx-less seal must emit the version-1 layout byte-identically to
+     pre-context builds: magic "SM", u16 ver, kind byte, u32 len. *)
+  let sealed = Frame.seal Frame.Delta "payload" in
+  Alcotest.(check int) "v1 header is 9 bytes" (9 + String.length "payload")
+    (String.length sealed);
+  Alcotest.(check string) "magic" "SM" (String.sub sealed 0 2);
+  Alcotest.(check int) "ctx-less frames stay version 1" 1 (Char.code sealed.[3]);
+  let kind, payload = Frame.open_ sealed in
+  check_bool "kind survives" (kind = Frame.Delta);
+  Alcotest.(check string) "payload survives" "payload" payload;
+  let kind, ctx, payload = Frame.open_rich sealed in
+  check_bool "rich open agrees" (kind = Frame.Delta && payload = "payload");
+  check_bool "v1 frames carry no context" (ctx = None);
+  (* A context bumps the frame to version 2, and v1-only semantics — plain
+     [open_] — still accept it, dropping the context. *)
+  let c = Sm_obs.Trace_ctx.child (Sm_obs.Trace_ctx.root "req") "hop" in
+  let sealed2 = Frame.seal ~ctx:c Frame.Control "p2" in
+  Alcotest.(check int) "ctx frames are version 2" 2 (Char.code sealed2.[3]);
+  let kind2, payload2 = Frame.open_ sealed2 in
+  check_bool "plain open drops the context" (kind2 = Frame.Control && payload2 = "p2");
+  match Frame.open_rich sealed2 with
+  | _, Some c', p when p = "p2" -> check_bool "context round-trips" (Sm_obs.Trace_ctx.equal c c')
+  | _ -> Alcotest.fail "rich open must surface the context"
+
+let frame_unknown_version_rejected () =
+  let sealed = Bytes.of_string (Frame.seal Frame.Control "x") in
+  Bytes.set_uint16_be sealed 2 255;
+  (match Frame.open_ (Bytes.to_string sealed) with
+  | exception Frame.Unsupported_version { got; speaks } ->
+    Alcotest.(check int) "reports the alien version" 255 got;
+    Alcotest.(check int) "reports what this build speaks" Frame.version speaks
+  | _ -> Alcotest.fail "version 255 must be rejected");
+  (* Version 0 is below [min_version]: same typed rejection, not Bad_frame. *)
+  Bytes.set_uint16_be sealed 2 0;
+  (match Frame.open_rich (Bytes.to_string sealed) with
+  | exception Frame.Unsupported_version { got; _ } ->
+    Alcotest.(check int) "pre-v1 rejected too" 0 got
+  | _ -> Alcotest.fail "version 0 must be rejected");
+  (* Corrupt magic stays a [Bad_frame], distinguishable from wrong build. *)
+  let bad = Bytes.of_string (Frame.seal Frame.Control "x") in
+  Bytes.set bad 0 'X';
+  match Frame.open_ (Bytes.to_string bad) with
+  | exception Frame.Bad_frame _ -> ()
+  | _ -> Alcotest.fail "corrupt magic must raise Bad_frame"
+
+let frame_roundtrip_property () =
+  let rng = Sm_util.Det_rng.create ~seed:0xF4A3E5L in
+  for _ = 1 to 200 do
+    let kind = Sm_util.Det_rng.pick rng [ Frame.Control; Frame.Delta; Frame.Snapshot ] in
+    let payload = Sm_util.Det_rng.bytes rng ~len:(Sm_util.Det_rng.int rng ~bound:64) in
+    let ctx =
+      if Sm_util.Det_rng.bool rng then
+        let root =
+          Sm_obs.Trace_ctx.root (Printf.sprintf "req%Ld" (Sm_util.Det_rng.int64 rng))
+        in
+        if Sm_util.Det_rng.bool rng then Some (Sm_obs.Trace_ctx.child root "hop") else Some root
+      else None
+    in
+    let kind', ctx', payload' = Frame.open_rich (Frame.seal ?ctx kind payload) in
+    check_bool "kind round-trips" (kind = kind');
+    check_bool "payload round-trips" (String.equal payload payload');
+    match (ctx, ctx') with
+    | None, None -> ()
+    | Some a, Some b -> check_bool "context round-trips" (Sm_obs.Trace_ctx.equal a b)
+    | _ -> Alcotest.fail "context presence must round-trip"
+  done
+
 let suite =
   [ Alcotest.test_case "remote counters sum" `Quick remote_counters
   ; Alcotest.test_case "merge order deterministic across runs" `Quick creation_order_is_deterministic
@@ -266,4 +338,7 @@ let suite =
   ; Alcotest.test_case "validation over the wire" `Quick validation_over_the_wire
   ; Alcotest.test_case "refusal preserves sibling bases" `Quick validation_preserves_history
   ; Alcotest.test_case "cluster reused across runs" `Quick cluster_reuse
+  ; Alcotest.test_case "frame: v1 compat + v2 context" `Quick frame_v1_compat
+  ; Alcotest.test_case "frame: alien versions rejected" `Quick frame_unknown_version_rejected
+  ; Alcotest.test_case "frame: seal/open round-trip property" `Quick frame_roundtrip_property
   ]

@@ -248,6 +248,200 @@ let trace_deterministic () =
             Alcotest.failf "event %d differs: %a vs %a" i E.pp ea E.pp eb)
         (List.combine a b))
 
+(* --- trace contexts ---------------------------------------------------------- *)
+
+let trace_ctx_derivation () =
+  let r = Obs.Trace_ctx.root "demo/seed1" in
+  check_bool "root is deterministic" (Obs.Trace_ctx.equal r (Obs.Trace_ctx.root "demo/seed1"));
+  check_bool "different label, different trace"
+    (not (Obs.Trace_ctx.equal r (Obs.Trace_ctx.root "demo/seed2")));
+  Alcotest.(check int) "roots have no parent" 0 r.Obs.Trace_ctx.parent;
+  let c = Obs.Trace_ctx.child r "shard0/edit/s0/r1" in
+  Alcotest.(check int) "child keeps the trace id" r.Obs.Trace_ctx.trace c.Obs.Trace_ctx.trace;
+  Alcotest.(check int) "child's parent is the root span" r.Obs.Trace_ctx.span
+    c.Obs.Trace_ctx.parent;
+  check_bool "same label derives the same span"
+    (Obs.Trace_ctx.equal c (Obs.Trace_ctx.child r "shard0/edit/s0/r1"));
+  check_bool "labels separate spans"
+    (c.Obs.Trace_ctx.span <> (Obs.Trace_ctx.child r "shard0/edit/s0/r2").Obs.Trace_ctx.span);
+  check_bool "ids fold to 62 bits"
+    (r.Obs.Trace_ctx.trace >= 0 && r.Obs.Trace_ctx.span >= 0 && c.Obs.Trace_ctx.span >= 0)
+
+let trace_ctx_roundtrips () =
+  let c = Obs.Trace_ctx.child (Obs.Trace_ctx.root "req") "hop" in
+  let c1 =
+    Sm_util.Codec.decode Obs.Trace_ctx.codec (Sm_util.Codec.encode Obs.Trace_ctx.codec c)
+  in
+  check_bool "codec round-trip" (Obs.Trace_ctx.equal c c1);
+  (match Obs.Trace_ctx.of_string (Obs.Trace_ctx.to_string c) with
+  | Some c2 -> check_bool "string round-trip" (Obs.Trace_ctx.equal c c2)
+  | None -> Alcotest.fail "to_string image must parse");
+  (match Obs.Trace_ctx.of_args (Obs.Trace_ctx.args c) with
+  | Some c3 -> check_bool "args round-trip" (Obs.Trace_ctx.equal c c3)
+  | None -> Alcotest.fail "args image must parse");
+  check_bool "ctx-free args give no context" (Obs.Trace_ctx.of_args [ ("ops", E.I 3) ] = None);
+  let e = E.make ~task:"t" ~task_id:1 ~args:(("op", E.S "x") :: Obs.Trace_ctx.args c) E.Serve in
+  (match Obs.Trace_ctx.of_event e with
+  | Some c4 -> check_bool "of_event finds the embedded context" (Obs.Trace_ctx.equal c c4)
+  | None -> Alcotest.fail "event carried a context")
+
+(* --- flight recorder --------------------------------------------------------- *)
+
+let flight_event i =
+  E.make ~task:"ring" ~task_id:9 ~args:[ ("n", E.I i) ] E.Note
+
+let flight_ring_eviction () =
+  Fun.protect ~finally:(fun () -> Obs.Flight_recorder.reset ())
+  @@ fun () ->
+  Obs.Flight_recorder.reset ();
+  let r = Obs.Flight_recorder.create ~capacity:4 "test_ring" in
+  for i = 1 to 6 do
+    Obs.Flight_recorder.record r (flight_event i)
+  done;
+  Alcotest.(check int) "length is capped" 4 (Obs.Flight_recorder.length r);
+  Alcotest.(check int) "recorded counts evictions" 6 (Obs.Flight_recorder.recorded r);
+  let ns =
+    List.map
+      (fun e -> match List.assoc "n" e.E.args with E.I n -> n | _ -> -1)
+      (Obs.Flight_recorder.events r)
+  in
+  Alcotest.(check (list int)) "oldest evicted first, oldest-first order" [ 3; 4; 5; 6 ] ns;
+  Obs.Flight_recorder.clear r;
+  Alcotest.(check int) "clear empties the ring" 0 (Obs.Flight_recorder.length r);
+  Obs.Flight_recorder.set_enabled false;
+  Obs.Flight_recorder.record r (flight_event 7);
+  Obs.Flight_recorder.set_enabled true;
+  Alcotest.(check int) "disabled record is dropped" 0 (Obs.Flight_recorder.length r)
+
+let flight_dump_structural () =
+  Fun.protect ~finally:(fun () -> Obs.Flight_recorder.reset ())
+  @@ fun () ->
+  Obs.Flight_recorder.reset ();
+  let dump_of () =
+    let r = Obs.Flight_recorder.create ~capacity:8 "test_dump" in
+    for i = 1 to 10 do
+      Obs.Flight_recorder.record r (flight_event i)
+    done;
+    Obs.Flight_recorder.dump_lines r
+  in
+  let d1 = dump_of () in
+  let d2 = dump_of () in
+  check_bool "same sequence dumps byte-identically (no seq/ts in lines)" (d1 = d2);
+  Alcotest.(check int) "one line per retained event" 8 (List.length d1);
+  List.iter
+    (fun line ->
+      check_bool "line is valid JSON with the structural fields"
+        (match Obs.Json.of_string line with
+        | Obs.Json.Obj fields ->
+          List.mem_assoc "kind" fields && List.mem_assoc "task" fields
+          && List.mem_assoc "args" fields
+        | _ -> false))
+    d1
+
+let flight_trigger () =
+  Fun.protect ~finally:(fun () -> Obs.Flight_recorder.reset ())
+  @@ fun () ->
+  Obs.Flight_recorder.reset ();
+  let r = Obs.Flight_recorder.create ~capacity:4 "test_trig" in
+  Obs.Flight_recorder.record r (flight_event 1);
+  check_bool "no trigger yet" (Obs.Flight_recorder.last_trigger () = None);
+  Obs.Flight_recorder.trigger ~reason:"unit test";
+  (match Obs.Flight_recorder.last_trigger () with
+  | Some (reason, dumps) ->
+    Alcotest.(check string) "reason kept" "unit test" reason;
+    check_bool "snapshot has our lane" (List.mem_assoc "test_trig" dumps);
+    Alcotest.(check int) "snapshot froze one event" 1
+      (List.length (List.assoc "test_trig" dumps))
+  | None -> Alcotest.fail "trigger must be retrievable");
+  Obs.Flight_recorder.clear_trigger ();
+  check_bool "clear_trigger forgets" (Obs.Flight_recorder.last_trigger () = None);
+  check_bool "registry lists the ring" (List.mem_assoc "test_trig" (Obs.Flight_recorder.all ()));
+  Obs.Flight_recorder.reset ();
+  check_bool "reset empties the registry" (Obs.Flight_recorder.all () = [])
+
+(* --- cross-lane stitching ---------------------------------------------------- *)
+
+let stitch_tree_shape () =
+  let root = Obs.Trace_ctx.root "action" in
+  let hop1 = Obs.Trace_ctx.child root "hop1" in
+  let hop2 = Obs.Trace_ctx.child hop1 "hop2" in
+  let ev task ctx kind = E.make ~task ~task_id:1 ~args:(Obs.Trace_ctx.args ctx) kind in
+  let lanes =
+    [ ("cli", [ ev "cli" root E.Req_begin; ev "cli" root E.Req_end; E.make ~task:"cli" ~task_id:1 ~args:[] E.Note ])
+    ; ("srv", [ ev "srv" hop1 E.Serve; ev "srv" hop2 E.Epoch_merge ])
+    ]
+  in
+  (match Obs.Trace_stitch.stitch lanes with
+  | [ tr ] ->
+    Alcotest.(check int) "three spans" 3 tr.Obs.Trace_stitch.span_count;
+    Alcotest.(check int) "ctx-free events are ignored" 4 tr.Obs.Trace_stitch.event_count;
+    (match tr.Obs.Trace_stitch.roots with
+    | [ r ] ->
+      check_bool "root span is the action" (Obs.Trace_ctx.equal r.Obs.Trace_stitch.ctx root);
+      check_bool "root is not dangling" (not r.Obs.Trace_stitch.dangling);
+      (match r.Obs.Trace_stitch.children with
+      | [ c1 ] -> (
+        check_bool "hop1 under root" (Obs.Trace_ctx.equal c1.Obs.Trace_stitch.ctx hop1);
+        match c1.Obs.Trace_stitch.children with
+        | [ c2 ] -> check_bool "hop2 under hop1" (Obs.Trace_ctx.equal c2.Obs.Trace_stitch.ctx hop2)
+        | l -> Alcotest.fail (Printf.sprintf "hop1 must have 1 child, got %d" (List.length l)))
+      | l -> Alcotest.fail (Printf.sprintf "root must have 1 child, got %d" (List.length l)))
+    | l -> Alcotest.fail (Printf.sprintf "one root expected, got %d" (List.length l)))
+  | l -> Alcotest.fail (Printf.sprintf "one trace expected, got %d" (List.length l)));
+  (* A hop whose parent span never appears stitches as a flagged root. *)
+  let orphan = Obs.Trace_ctx.child (Obs.Trace_ctx.root "lost") "only-hop" in
+  (match Obs.Trace_stitch.stitch [ ("srv", [ ev "srv" orphan E.Serve ]) ] with
+  | [ tr ] -> (
+    match tr.Obs.Trace_stitch.roots with
+    | [ r ] -> check_bool "orphan flagged dangling" r.Obs.Trace_stitch.dangling
+    | _ -> Alcotest.fail "orphan must surface as a root")
+  | _ -> Alcotest.fail "one trace expected");
+  (* The rendering is stable: same lanes, same bytes. *)
+  check_bool "to_string deterministic"
+    (Obs.Trace_stitch.to_string (Obs.Trace_stitch.stitch lanes)
+    = Obs.Trace_stitch.to_string (Obs.Trace_stitch.stitch lanes))
+
+(* --- non-finite floats: Json's 1e999 idiom vs Expo's filtering ---------------- *)
+
+let json_nonfinite_roundtrip () =
+  let open Obs.Json in
+  Alcotest.(check string) "+inf prints as 1e999" "1e999" (to_string (Float infinity));
+  Alcotest.(check string) "-inf prints as -1e999" "-1e999" (to_string (Float neg_infinity));
+  Alcotest.(check string) "nan prints as null" "null" (to_string (Float nan));
+  (match of_string "1e999" with
+  | Float f -> check_bool "1e999 parses back to +inf" (f = infinity)
+  | _ -> Alcotest.fail "expected a float");
+  (match of_string "-1e999" with
+  | Float f -> check_bool "-1e999 parses back to -inf" (f = neg_infinity)
+  | _ -> Alcotest.fail "expected a float");
+  (* the event-args layer closes the nan loop: null decodes as [F nan] *)
+  (match Obs.Trace_jsonl.arg_of_json Null with
+  | E.F f -> check_bool "null decodes as F nan" (Float.is_nan f)
+  | _ -> Alcotest.fail "expected F nan")
+
+let expo_nonfinite_filtered () =
+  (* Prometheus text has no 1e999 idiom: non-finite samples are dropped
+     before the quantile/_sum/_count math, so a histogram with an open
+     [infinity] bound still renders finite numerals only. *)
+  let out =
+    Obs.Expo.render ~counters:[]
+      ~histograms:[ ("test.open_bounds", [ infinity; 2.0; nan; 4.0; neg_infinity ]) ]
+  in
+  check_bool "renders the summary" (String.length out > 0);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "count counts finite samples only" (contains "sm_test_open_bounds_count 2" out);
+  check_bool "sum over finite samples" (contains "sm_test_open_bounds_sum 6" out);
+  check_bool "no inf leaks" (not (contains "inf" out));
+  check_bool "no nan leaks" (not (contains "nan" out));
+  check_bool "no 1e999 leaks" (not (contains "1e999" out));
+  (* all-non-finite histograms disappear entirely rather than render junk *)
+  let out2 = Obs.Expo.render ~counters:[] ~histograms:[ ("test.all_inf", [ nan; infinity ]) ] in
+  Alcotest.(check string) "all-non-finite histogram omitted" "" out2
+
 let suite =
   [ Alcotest.test_case "verbosity: gating" `Quick verbosity_gating
   ; Alcotest.test_case "verbosity: string round-trip" `Quick verbosity_strings
@@ -263,4 +457,12 @@ let suite =
   ; Alcotest.test_case "span: end survives exceptions" `Quick span_exception_safe
   ; Alcotest.test_case "chrome: complete slices from a run" `Quick chrome_trace_valid
   ; Alcotest.test_case "determinism: coop trace structure" `Quick trace_deterministic
+  ; Alcotest.test_case "trace ctx: label-derived ids" `Quick trace_ctx_derivation
+  ; Alcotest.test_case "trace ctx: codec/string/args round-trips" `Quick trace_ctx_roundtrips
+  ; Alcotest.test_case "flight: ring eviction order" `Quick flight_ring_eviction
+  ; Alcotest.test_case "flight: structural dumps" `Quick flight_dump_structural
+  ; Alcotest.test_case "flight: trigger snapshot + reset" `Quick flight_trigger
+  ; Alcotest.test_case "stitch: cross-lane request tree" `Quick stitch_tree_shape
+  ; Alcotest.test_case "json: non-finite round-trip (1e999)" `Quick json_nonfinite_roundtrip
+  ; Alcotest.test_case "expo: non-finite samples filtered" `Quick expo_nonfinite_filtered
   ]

@@ -74,12 +74,14 @@ let test_frame_rejection () =
   (match Proto.open_s2c "not a frame" with
   | _ -> Alcotest.fail "garbage must not parse"
   | exception Sm_dist.Wire.Frame.Bad_frame _ -> ());
-  (* A frame from an incompatible build: bump the version field. *)
+  (* A frame from an incompatible build: bump the version field.  Typed
+     separately from Bad_frame so callers can tell "wrong build" from
+     "corrupt bytes". *)
   let sealed = Bytes.of_string (Proto.seal_c2s (Proto.Hello { client = "x" })) in
   Bytes.set sealed 3 '\xff';
   (match Proto.open_c2s (Bytes.to_string sealed) with
   | _ -> Alcotest.fail "wrong version must not parse"
-  | exception Sm_dist.Wire.Frame.Bad_frame _ -> ());
+  | exception Sm_dist.Wire.Frame.Unsupported_version { got = 255; speaks = 2 } -> ());
   (* Kind disagreeing with the payload: a Welcome carrying a Delta payload
      must travel in a Delta frame, not a Snapshot one. *)
   let payload =
@@ -281,6 +283,159 @@ let test_load_across_schedulers () =
     threaded.Load.shard_digests coop.Load.shard_digests;
   check Alcotest.int "tick counts agree across executors" threaded.Load.ticks coop.Load.ticks
 
+(* --- observability: trace propagation, stitching, flight dumps, hot docs ----- *)
+
+module Obs = Sm_obs
+module Shard_metrics = Sm_shard.Shard_metrics
+
+let obs_profile =
+  { Load.default with Load.seed = 11L; shards = 2; clients = 4; ops_per_client = 6 }
+
+(* Run [f] with a Debug-level collecting sink installed, returning its
+   result plus the events in emission order. *)
+let with_debug_sink f =
+  let events = ref [] in
+  Obs.set_level Obs.Debug;
+  Obs.set_sink (Obs.Sink.make (fun e -> events := e :: !events));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset_sink ();
+      Obs.set_level Obs.Off)
+    (fun () ->
+      let r = f () in
+      (r, List.rev !events))
+
+(* Lane = emitting task, as [Trace_jsonl.dir_sink] would split files;
+   sorted by name so lane order never depends on emission interleaving. *)
+let lanes_of events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl e.Obs.Event.task) in
+      Hashtbl.replace tbl e.Obs.Event.task (e :: prev))
+    events;
+  Hashtbl.fold (fun lane rev acc -> (lane, List.rev rev) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* One traced load run under [run_in], stitched: the driver emits the shared
+   request root on its own lane (else every client span would stitch as a
+   dangling orphan), and every client gets that root as [?parent]. *)
+let traced_run run_in =
+  let root = Obs.Trace_ctx.root "test/req" in
+  let driver op kind =
+    Obs.emit
+      (Obs.Event.make ~task:"driver" ~task_id:4_000_001
+         ~args:(("op", Obs.Event.S op) :: Obs.Trace_ctx.args root)
+         kind)
+  in
+  let report, events =
+    with_debug_sink (fun () ->
+        driver "begin" Obs.Event.Req_begin;
+        let r = run_in (fun () -> Load.run ~docs ~parent:root obs_profile) in
+        driver "end" Obs.Event.Req_end;
+        r)
+  in
+  (root, report, Obs.Trace_stitch.stitch (lanes_of events))
+
+let rec span_lanes (s : Obs.Trace_stitch.span) =
+  List.map fst s.Obs.Trace_stitch.events @ List.concat_map span_lanes s.Obs.Trace_stitch.children
+
+let prefixed p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p
+
+let test_trace_tree_spans_processes () =
+  let root, report, traces = traced_run (fun f -> f ()) in
+  checkb "run converged" true report.Load.converged;
+  match traces with
+  | [ tr ] -> (
+    match tr.Obs.Trace_stitch.roots with
+    | [ r ] ->
+      checkb "root is the request" true (Obs.Trace_ctx.equal r.Obs.Trace_stitch.ctx root);
+      checkb "root resolved, not dangling" true (not r.Obs.Trace_stitch.dangling);
+      let lanes = List.sort_uniq compare (span_lanes r) in
+      checkb "a client lane participates" true (List.exists (prefixed "client") lanes);
+      checkb "at least two shards participate" true
+        (List.length (List.filter (prefixed "shard") lanes) >= 2)
+    | l -> Alcotest.fail (Printf.sprintf "one root span expected, got %d" (List.length l)))
+  | l -> Alcotest.fail (Printf.sprintf "one trace expected, got %d" (List.length l))
+
+let test_stitch_identical_across_executors () =
+  let run_threaded f =
+    let e = Sm_core.Executor.create () in
+    Fun.protect
+      ~finally:(fun () -> Sm_core.Executor.shutdown e)
+      (fun () -> Sm_core.Runtime.run ~executor:e (fun _ -> f ()))
+  in
+  let run_coop f = Sm_core.Runtime.Coop.run (fun _ -> f ()) in
+  let _, r1, t1 = traced_run run_threaded in
+  let _, r2, t2 = traced_run run_coop in
+  checkb "both converged" true (r1.Load.converged && r2.Load.converged);
+  check Alcotest.string "stitched trees byte-identical across executors"
+    (Obs.Trace_stitch.to_string t1) (Obs.Trace_stitch.to_string t2)
+
+let test_flight_dump_across_executors () =
+  Fun.protect ~finally:(fun () -> Obs.Flight_recorder.reset ())
+  @@ fun () ->
+  let capture run =
+    Obs.Flight_recorder.reset ();
+    Obs.Flight_recorder.set_enabled true;
+    let r = run () in
+    checkb "converged" true r.Load.converged;
+    Obs.Flight_recorder.dump_all ()
+  in
+  let e = Sm_core.Executor.create () in
+  let d1 =
+    Fun.protect
+      ~finally:(fun () -> Sm_core.Executor.shutdown e)
+      (fun () ->
+        capture (fun () ->
+            Sm_core.Runtime.run ~executor:e (fun _ -> Load.run ~docs chaos_profile)))
+  in
+  let d2 = capture (fun () -> Sm_core.Runtime.Coop.run (fun _ -> Load.run ~docs chaos_profile)) in
+  checkb "dumps are non-empty" true (List.exists (fun (_, lines) -> lines <> []) d1);
+  checkb "flight dumps byte-identical across executors" true (d1 = d2)
+
+let test_hot_docs_and_stats_report () =
+  let saved = Obs.Metrics.is_enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled saved;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let last = ref None in
+  let r = Load.run ~docs ~on_tick:(fun _ svc -> last := Some svc) obs_profile in
+  checkb "converged" true r.Load.converged;
+  match !last with
+  | None -> Alcotest.fail "on_tick never fired"
+  | Some svc ->
+    let rows = Shard_metrics.rows (Service.servers svc) in
+    check Alcotest.int "one row per shard" obs_profile.Load.shards (List.length rows);
+    checkb "edits were counted" true
+      (List.fold_left (fun n row -> n + row.Shard_metrics.edits) 0 rows > 0);
+    checkb "merge latency histograms populated" true
+      (List.exists (fun row -> row.Shard_metrics.merge_p50_ns <> None) rows);
+    let hot = Shard_metrics.hot_docs (Service.servers svc) in
+    checkb "conflict profiler attributes documents" true (hot <> []);
+    checkb "hot docs saw merges" true
+      (List.for_all (fun (_, (d : Sm_shard.Server.doc_stat)) -> d.Sm_shard.Server.d_merges > 0) hot);
+    let report = Service.stats_report svc in
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "report renders the shard table" true (contains "shard" report);
+    checkb "report renders the hot-docs table" true (contains "document" report);
+    checkb "report renders the net line" true (contains "net: sends=" report);
+    let expo = Service.expo_text svc in
+    let families =
+      String.split_on_char '\n' expo
+      |> List.filter (fun l -> prefixed "# TYPE" l)
+      |> List.length
+    in
+    checkb "expo exports >= 10 metric families" true (families >= 10)
+
 let suite =
   [ Alcotest.test_case "router: deterministic spread" `Quick test_router_determinism
   ; Alcotest.test_case "proto: frame roundtrips" `Quick test_proto_roundtrip
@@ -294,4 +449,12 @@ let suite =
   ; Alcotest.test_case "load: seed-reproducible under chaos" `Quick test_load_reproducible
   ; Alcotest.test_case "load: delta and snapshot modes agree" `Quick test_load_mode_invariance
   ; Alcotest.test_case "load: chaos converges on both schedulers" `Quick test_load_across_schedulers
+  ; Alcotest.test_case "obs: one request tree spans client + 2 shards" `Quick
+      test_trace_tree_spans_processes
+  ; Alcotest.test_case "obs: stitched tree identical across executors" `Quick
+      test_stitch_identical_across_executors
+  ; Alcotest.test_case "obs: flight dumps identical across executors" `Quick
+      test_flight_dump_across_executors
+  ; Alcotest.test_case "obs: hot docs, stats report, expo families" `Quick
+      test_hot_docs_and_stats_report
   ]
