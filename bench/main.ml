@@ -21,7 +21,8 @@
      dune exec bench/main.exe fuzz            # sm-fuzz seeds/second (CI budget sizing)
 
    Flags (after the subcommand):
-     --json         write BENCH_<name>.json (per-series n/mean/stddev/median/p95)
+     --json         write BENCH_<name>.json (per-series n/mean/stddev/median/p95);
+                    implied by --gate so gated runs always leave their artifact
      --obs          enable Sm_obs metrics and dump counters/histograms at exit
      --trace FILE   capture a Chrome trace_event file of the run (sets the
                     verbosity to Debug unless something already raised it)
@@ -946,7 +947,9 @@ let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
   Sm_obs.Verbosity.of_env ();
-  json_mode := has "--json";
+  (* --gate implies --json: a CI gate must always leave its BENCH_<name>.json
+     evidence behind, pass or fail — no per-workflow renaming. *)
+  json_mode := has "--json" || has "--gate";
   let flag_value name =
     let rec find = function
       | f :: path :: _ when f = name -> Some path

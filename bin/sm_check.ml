@@ -7,10 +7,18 @@
      sm-check detsan --scenario nondet --expect-hazards
      sm-check list                          # what can be checked
 
-   Exit codes: 0 clean, 1 violation/hazard (with --expect-hazards, the
-   *absence* of one), 2 usage.  A --mutate run keeps the normal gate, so a
-   caught mutation exits 1 with its minimized counterexample — CI asserts
-   that with `! sm-check ot --type mlist --mutate tie-bias`. *)
+   Exit codes distinguish new failures from expected ones:
+
+     0  clean — every gate passed with nothing surfaced
+     1  NEW failure — an unexpected violation or hazard (with --mutate, a
+        mutation the checker FAILED to catch; with --expect-hazards, the
+        absence of any hazard)
+     2  usage
+     3  expected failure surfaced — a registry known-issue counterexample
+        (XFAIL), a caught --mutate bug, or --expect-hazards seeing hazards
+
+   CI distinguishes them with `cmd; test $? = 3` — a 3 is green for jobs
+   that exercise known issues or seeded bugs, a 1 never is. *)
 
 module Check = Sm_check
 module Rt = Sm_core.Runtime
@@ -61,7 +69,27 @@ let ot all types depth mutation =
     (match mutation with
     | None -> ""
     | Some m -> Printf.sprintf " (transform mutated: %s)" (Check.Mutate.to_string m));
-  if failed <> [] then exit 1
+  match mutation with
+  | Some _ ->
+    (* Inverted gate: catching the seeded bug is the point.  Every module
+       must fail; a module that still passes means the checker missed it. *)
+    let uncaught = List.filter Check.Report.passed reports in
+    if uncaught <> [] then begin
+      List.iter
+        (fun (r : Check.Report.t) -> Format.printf "mutation NOT caught by %s@." r.Check.Report.name)
+        uncaught;
+      exit 1
+    end;
+    exit 3
+  | None ->
+    if failed <> [] then exit 1;
+    let xfailed =
+      List.exists
+        (fun (r : Check.Report.t) ->
+          match r.Check.Report.verdict with Check.Report.Fail _ -> true | Check.Report.Pass -> false)
+        reports
+    in
+    if xfailed then exit 3
 
 (* --- detsan ---------------------------------------------------------------- *)
 
@@ -133,7 +161,7 @@ let detsan scenario expect_hazards list_scenarios =
     | true, [] ->
       Format.printf "expected hazards but the sanitizer reported none@.";
       exit 1
-    | true, _ :: _ -> ()
+    | true, _ :: _ -> exit 3 (* the expected failure surfaced *)
   end
 
 (* --- list ------------------------------------------------------------------ *)
@@ -157,6 +185,15 @@ let list_types () =
 
 open Cmdliner
 
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"clean — every gate passed"
+  ; Cmd.Exit.info 1 ~doc:"new failure — unexpected violation/hazard, or a mutation not caught"
+  ; Cmd.Exit.info 2 ~doc:"usage error"
+  ; Cmd.Exit.info 3
+      ~doc:"expected failure surfaced — known-issue XFAIL, caught --mutate bug, or \
+            --expect-hazards hazards"
+  ]
+
 let depth_arg =
   Arg.(
     value & opt int 2
@@ -179,7 +216,7 @@ let ot_cmd =
                 counterexample (known-issue exemptions do not apply).")
   in
   Cmd.v
-    (Cmd.info "ot"
+    (Cmd.info "ot" ~exits
        ~doc:"Verify TP1, cross-convergence, merge serialization and totality for op modules, \
              with minimized counterexamples.")
     Term.(const ot $ all_arg $ type_arg $ depth_arg $ mutate_arg)
@@ -197,7 +234,7 @@ let detsan_cmd =
   in
   let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List built-in scenarios.") in
   Cmd.v
-    (Cmd.info "detsan"
+    (Cmd.info "detsan" ~exits
        ~doc:"Run a program under the determinism sanitizer and report hazards with task \
              provenance.")
     Term.(const detsan $ scenario_arg $ expect_arg $ list_arg)
@@ -208,7 +245,7 @@ let list_cmd =
 
 let () =
   let info =
-    Cmd.info "sm-check" ~version:"%%VERSION%%"
+    Cmd.info "sm-check" ~version:"%%VERSION%%" ~exits
       ~doc:"OT correctness checker and determinism sanitizer for Spawn/Merge."
   in
   exit (Cmd.eval (Cmd.group info [ ot_cmd; detsan_cmd; list_cmd ]))

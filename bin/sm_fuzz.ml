@@ -12,8 +12,14 @@
 
    Every failure prints a replayable report: the seed and config reproduce
    the run bit-for-bit, and the embedded shrunk program replays directly
-   with --program.  Exit codes: 0 clean, 1 failures found (or a corpus /
-   replay mismatch), 2 usage. *)
+   with --program.  With --lint, each failure report carries the sm-lint
+   static pre-pass verdict of its shrunk program.
+
+   Exit codes: 0 clean, 1 NEW failures found (or a corpus / replay
+   mismatch), 2 usage, 3 only expected failures — every failure is the
+   differential oracle catching the --mutate seeded bug, the outcome a
+   mutation run exists to produce.  CI accepts 3 (`cmd; test $? = 3`) for
+   mutation jobs and treats 1 as red everywhere. *)
 
 module F = Sm_fuzz
 module Program = F.Program
@@ -51,7 +57,18 @@ let write_report dir (r : Fuzzer.report) =
 
 (* --- run -------------------------------------------------------------------- *)
 
-let run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir =
+(* The expected failure of a mutation run: the differential oracle caught
+   the seeded transform bug.  Anything else is news. *)
+let expected_failure ~mutate (r : Fuzzer.report) =
+  Option.is_some mutate && r.Fuzzer.failure.Oracle.oracle = "differential"
+
+(* 0 none, 3 all expected, 1 any unexpected. *)
+let exit_for_failures ~mutate failures =
+  if failures = [] then ()
+  else if List.for_all (expected_failure ~mutate) failures then exit 3
+  else exit 1
+
+let run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~lint ~report_dir =
   Oracle.with_env (fun env ->
       let progress ~seed = function
         | Fuzzer.Passed -> ()
@@ -65,7 +82,7 @@ let run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir =
             | Some dir -> Printf.sprintf " (report: %s)" (write_report dir r))
       in
       let summary =
-        Fuzzer.run_seeds ?mutate ~runs ~progress env ~seed_base ~seeds ~depth ~profile ()
+        Fuzzer.run_seeds ?mutate ~runs ~lint ~progress env ~seed_base ~seeds ~depth ~profile ()
       in
       let nfail = List.length summary.Fuzzer.failed in
       Format.printf "%d seed%s (base 0x%Lx, depth %d, faults %s%s): %d failure%s@." seeds
@@ -80,7 +97,7 @@ let run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir =
       (match (report_dir, summary.Fuzzer.failed) with
       | Some dir, _ :: _ -> Format.printf "reports in %s/@." dir
       | _ -> ());
-      if nfail > 0 then exit 1)
+      exit_for_failures ~mutate summary.Fuzzer.failed)
 
 let run_net ~seeds ~seed_base =
   let failures = ref 0 in
@@ -182,11 +199,11 @@ let run_shard ~seeds ~seed_base ~flight_dir =
     (if !failures = 1 then "" else "s");
   if !failures > 0 then exit 1
 
-let run target seeds seed_base depth faults mutate runs report_dir flight_dir =
+let run target seeds seed_base depth faults mutate runs lint report_dir flight_dir =
   let profile = parse_profile faults in
   let mutate = parse_mutate mutate in
   match target with
-  | "spawn" -> run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~report_dir
+  | "spawn" -> run_spawn ~seeds ~seed_base ~depth ~profile ~mutate ~runs ~lint ~report_dir
   | "net" -> run_net ~seeds ~seed_base
   | "dist" -> run_dist ~seeds ~seed_base
   | "shard" -> run_shard ~seeds ~seed_base ~flight_dir
@@ -194,7 +211,7 @@ let run target seeds seed_base depth faults mutate runs report_dir flight_dir =
 
 (* --- replay ----------------------------------------------------------------- *)
 
-let replay seed program_file depth faults mutate runs =
+let replay seed program_file depth faults mutate runs lint =
   let profile = parse_profile faults in
   let mutate = parse_mutate mutate in
   match (seed, program_file) with
@@ -202,13 +219,13 @@ let replay seed program_file depth faults mutate runs =
   | Some _, Some _ -> die "replay takes --seed or --program, not both"
   | Some seed, None ->
     Oracle.with_env (fun env ->
-        match Fuzzer.fuzz_one ?mutate ~runs env ~seed ~depth ~profile () with
+        match Fuzzer.fuzz_one ?mutate ~runs ~lint env ~seed ~depth ~profile () with
         | Fuzzer.Passed ->
           Format.printf "seed 0x%Lx: all oracles pass (depth %d, faults %s)@." seed depth
             (Program.profile_to_string profile)
         | Fuzzer.Failed r ->
           print_string (Fuzzer.report_to_string r);
-          exit 1)
+          exit_for_failures ~mutate [ r ])
   | None, Some file ->
     let text =
       try In_channel.with_open_text file In_channel.input_all
@@ -220,7 +237,7 @@ let replay seed program_file depth faults mutate runs =
         | Ok () -> Format.printf "%s: all oracles pass@." file
         | Error f ->
           Format.printf "%s: FAIL %a@." file Oracle.pp_failure f;
-          exit 1)
+          if Option.is_some mutate && f.Oracle.oracle = "differential" then exit 3 else exit 1)
 
 (* --- corpus ----------------------------------------------------------------- *)
 
@@ -286,6 +303,22 @@ let mutate_arg =
 let runs_arg =
   Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Repetitions for the determinism oracle.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Run the sm-lint static pre-pass on each failure's shrunk program and embed its \
+              verdict in the report.")
+
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"clean — no failures"
+  ; Cmd.Exit.info 1 ~doc:"new failures found, or a corpus/replay mismatch"
+  ; Cmd.Exit.info 2 ~doc:"usage error"
+  ; Cmd.Exit.info 3
+      ~doc:"only expected failures — every one is the differential oracle catching the --mutate \
+            seeded bug"
+  ]
+
 let run_cmd =
   let seeds_arg =
     Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"How many consecutive seeds to fuzz.")
@@ -314,10 +347,10 @@ let run_cmd =
                 DIR/seed-S-LANE.flight.jsonl (on a clean pass, the final run's rings).")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Fuzz N seeds against every applicable oracle, shrinking failures.")
+    (Cmd.info "run" ~exits ~doc:"Fuzz N seeds against every applicable oracle, shrinking failures.")
     Term.(
       const run $ target_arg $ seeds_arg $ seed_base_arg $ depth_arg $ faults_arg $ mutate_arg
-      $ runs_arg $ report_dir_arg $ flight_dir_arg)
+      $ runs_arg $ lint_arg $ report_dir_arg $ flight_dir_arg)
 
 let replay_cmd =
   let seed_arg =
@@ -331,9 +364,11 @@ let replay_cmd =
       & info [ "program" ] ~docv:"FILE" ~doc:"Re-check a program artifact instead of a seed.")
   in
   Cmd.v
-    (Cmd.info "replay"
+    (Cmd.info "replay" ~exits
        ~doc:"Reproduce a failure byte-for-byte from its seed, or re-check a shrunk program file.")
-    Term.(const replay $ seed_arg $ program_arg $ depth_arg $ faults_arg $ mutate_arg $ runs_arg)
+    Term.(
+      const replay $ seed_arg $ program_arg $ depth_arg $ faults_arg $ mutate_arg $ runs_arg
+      $ lint_arg)
 
 let corpus_cmd =
   let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List corpus entries (default).") in
@@ -344,7 +379,7 @@ let corpus_cmd =
 
 let () =
   let info =
-    Cmd.info "sm-fuzz" ~version:"%%VERSION%%"
+    Cmd.info "sm-fuzz" ~version:"%%VERSION%%" ~exits
       ~doc:"Deterministic spawn-tree fuzzer with fault injection for Spawn/Merge."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; replay_cmd; corpus_cmd ]))

@@ -51,6 +51,10 @@ let hazard_tag = function
   | Unmerged_children _ -> "unmerged-children"
   | Op_after_digest _ -> "op-after-digest"
 
+(* The closed taxonomy, one tag per constructor — the shared vocabulary
+   static twins (Sm_lint findings) key on.  Keep in sync with [hazard]. *)
+let hazard_tags = [ "nondet-merge"; "key-in-task"; "unmerged-children"; "op-after-digest" ]
+
 (* At most one observation at a time: the hooks are process-global.  Nested
    or concurrent [observe] calls would silently steal each other's events. *)
 let busy = Mutex.create ()

@@ -43,6 +43,11 @@ val hazard_tag : hazard -> string
 (** Stable short tag ("nondet-merge", "key-in-task", ...) for CLI summaries
     and tests. *)
 
+val hazard_tags : string list
+(** The whole taxonomy, one tag per hazard class — what the static analyzer
+    ([Sm_lint]) must provide a twin finding for, and what the agreement
+    harness iterates when checking static coverage of dynamic hazards. *)
+
 val observe : (unit -> 'a) -> 'a * hazard list
 (** Install the hooks, run the thunk (typically one or more
     {!Sm_core.Runtime.run} / [Coop.run] calls), uninstall, and return the

@@ -13,6 +13,9 @@ let name e =
   let module E = (val e.enum : Enum.S) in
   E.name
 
+let enum e = e.enum
+let known_issues e = e.known
+
 (* Triage outcome (ISSUE 3, satellite 1): running the checker over the full
    matrix at depth 2 — TP1 both winners, cross under both serialization
    ties, workspace merge order and nested merges — found exactly one

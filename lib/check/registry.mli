@@ -13,6 +13,14 @@ type entry
 
 val name : entry -> string
 
+val enum : entry -> (module Enum.S)
+(** The entry's enumerable op module — what static analyses (e.g.
+    [Sm_lint.Matrix]) derive per-module facts from. *)
+
+val known_issues : entry -> known_issue list
+(** The entry's documented expected failures; static analyses use them to
+    pin findings the same way {!run} turns matching failures into XFAILs. *)
+
 val register : ?known:known_issue list -> (module Enum.S) -> unit
 (** Append a user-defined mergeable type to the registry (the paper's
     extension point, checkable like the built-ins). *)

@@ -9,6 +9,7 @@ type report =
   ; program : Program.t
   ; shrunk : Program.t
   ; shrink_steps : int
+  ; lint : string option
   }
 
 type outcome =
@@ -18,7 +19,7 @@ type outcome =
 let program_of_seed ~seed ~depth ~profile =
   Program.generate (Rng.create ~seed) ~depth ~profile
 
-let fuzz_one ?mutate ?runs env ~seed ~depth ~profile () =
+let fuzz_one ?mutate ?runs ?(lint = false) env ~seed ~depth ~profile () =
   let program = program_of_seed ~seed ~depth ~profile in
   match Oracle.check ?mutate ?runs env program with
   | Ok () -> Passed
@@ -40,7 +41,13 @@ let fuzz_one ?mutate ?runs env ~seed ~depth ~profile () =
         (Array.to_list program.Program.scripts)
     in
     let shrunk = { Program.scripts = Array.of_list shrunk } in
-    Failed { seed; depth; profile; mutate; failure; program; shrunk; shrink_steps }
+    (* The static pre-pass verdict rides along in the report: a dynamic
+       failure on a program sm-lint already flags (any-merge taint, pinned
+       merge-order) triages very differently from one on a clean program. *)
+    let lint =
+      if lint then Some (Sm_lint.Lint.summary (Sm_lint.Lint.analyze shrunk)) else None
+    in
+    Failed { seed; depth; profile; mutate; failure; program; shrunk; shrink_steps; lint }
 
 let mutate_name = function None -> "none" | Some k -> Sm_check.Mutate.to_string k
 
@@ -54,6 +61,11 @@ let pp_report ppf r =
   Format.fprintf ppf "detail: %s@." r.failure.Oracle.detail;
   Format.fprintf ppf "steps: %d -> %d (%d shrink moves)@." (Program.size r.program)
     (Program.size r.shrunk) r.shrink_steps;
+  (match r.lint with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "-- static analysis --@.";
+    Format.fprintf ppf "sm-lint: %s@." s);
   Format.fprintf ppf "-- shrunk program --@.";
   Program.pp ppf r.shrunk
 
@@ -64,11 +76,11 @@ type summary =
   ; failed : report list
   }
 
-let run_seeds ?mutate ?runs ?progress env ~seed_base ~seeds ~depth ~profile () =
+let run_seeds ?mutate ?runs ?lint ?progress env ~seed_base ~seeds ~depth ~profile () =
   let failed = ref [] in
   for i = 0 to seeds - 1 do
     let seed = Int64.add seed_base (Int64.of_int i) in
-    let outcome = fuzz_one ?mutate ?runs env ~seed ~depth ~profile () in
+    let outcome = fuzz_one ?mutate ?runs ?lint env ~seed ~depth ~profile () in
     (match outcome with Passed -> () | Failed r -> failed := r :: !failed);
     match progress with None -> () | Some f -> f ~seed outcome
   done;

@@ -16,6 +16,11 @@ type report =
   ; program : Program.t  (** as generated *)
   ; shrunk : Program.t  (** minimized, still failing [failure.oracle] *)
   ; shrink_steps : int  (** accepted shrink moves *)
+  ; lint : string option
+    (** {!Sm_lint.Lint.summary} of the shrunk program when the run was
+        started with [~lint:true] — the static pre-pass verdict that
+        triages the dynamic failure (flagged-as-nondeterministic vs
+        statically clean). *)
   }
 
 type outcome =
@@ -29,6 +34,7 @@ val program_of_seed : seed:int64 -> depth:int -> profile:Program.profile -> Prog
 val fuzz_one :
   ?mutate:Sm_check.Mutate.kind ->
   ?runs:int ->
+  ?lint:bool ->
   Oracle.env ->
   seed:int64 ->
   depth:int ->
@@ -55,6 +61,7 @@ type summary =
 val run_seeds :
   ?mutate:Sm_check.Mutate.kind ->
   ?runs:int ->
+  ?lint:bool ->
   ?progress:(seed:int64 -> outcome -> unit) ->
   Oracle.env ->
   seed_base:int64 ->

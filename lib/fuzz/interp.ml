@@ -163,12 +163,14 @@ let run ?(task_budget = 256) (k : Keyset.t) (prog : P.t) ctx =
     let ws = Rt.workspace ctx in
     let children = ref [] in
     let live () = List.filter (fun h -> Rt.status h <> Rt.Retired) !children in
-    let target j = idx + 1 + (j mod (n - idx - 1)) in
+    let target j = P.resolve_target ~nscripts:n ~idx j in
     let step = function
       | P.Op spec -> apply_op k ws spec
-      | P.Spawn j ->
-        if idx < n - 1 && Atomic.fetch_and_add budget 1 < task_budget then
-          children := !children @ [ Rt.spawn ctx (exec (target j) ~root:false) ]
+      | P.Spawn j -> (
+        match target j with
+        | Some t when Atomic.fetch_and_add budget 1 < task_budget ->
+          children := !children @ [ Rt.spawn ctx (exec t ~root:false) ]
+        | _ -> ())
       | P.Merge { kind; sel; validate } -> (
         let validate = validate_fun k validate in
         match kind with
@@ -177,16 +179,27 @@ let run ?(task_budget = 256) (k : Keyset.t) (prog : P.t) ctx =
         | P.Any -> ignore (Rt.merge_any ?validate ctx)
         | P.Any_set -> ignore (Rt.merge_any_from_set ?validate ctx (select sel (live ()))))
       | P.Sync -> if not root then ignore (Rt.sync ctx)
-      | P.Clone j ->
-        if
-          (not root) && idx < n - 1
-          && Ws.is_pristine ws
-          && Atomic.fetch_and_add budget 1 < task_budget
-        then ignore (Rt.clone ctx (exec (target j) ~root:false))
+      | P.Clone j -> (
+        match target j with
+        | Some t
+          when (not root)
+               && Ws.is_pristine ws
+               && Atomic.fetch_and_add budget 1 < task_budget ->
+          ignore (Rt.clone ctx (exec t ~root:false))
+        | _ -> ())
       | P.Abort j -> (
         match live () with
         | [] -> ()
         | l -> Rt.abort ctx (List.nth l (j mod List.length l)))
+      | P.Mint j ->
+        (* the DetSan key-in-task pitfall, on purpose: minting alone is the
+           hazard, so the key is neither initialized nor written — state and
+           digest stay untouched and the step is deterministic.  Only four
+           distinct names exist so repeated mints dedup in hazard reports. *)
+        ignore
+          (Ws.create_key
+             (module Sm_mergeable.Mcounter.Data)
+             ~name:(Printf.sprintf "fuzz.minted.%d" (j mod 4)))
     in
     List.iter step prog.P.scripts.(idx);
     (* never leave children to the implicit MergeAll: sync-parked children

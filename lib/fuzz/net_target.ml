@@ -36,6 +36,7 @@ let scenario ~seed ~faults =
     (fun () ->
       let listener = Np.listen () in
       let nconns = 1 + Rng.int rng ~bound:3 in
+      let expected_closed = ref 0 in
       let conns =
         List.init nconns (fun ci ->
             let client = Np.connect listener in
@@ -46,6 +47,9 @@ let scenario ~seed ~faults =
             in
             let nmsgs = 5 + Rng.int rng ~bound:20 in
             let cut = if Rng.bool rng then Some (Rng.int rng ~bound:nmsgs) else None in
+            (* every post-cut send is exactly one closed-connection drop,
+               fault plane or not — the strengthened conservation law *)
+            (match cut with Some c -> expected_closed := !expected_closed + (nmsgs - c) | None -> ());
             let sent = ref [] in
             for i = 0 to nmsgs - 1 do
               (match cut with Some c when i = c -> Np.close client | _ -> ());
@@ -66,10 +70,10 @@ let scenario ~seed ~faults =
             (List.rev !sent, List.rev !received))
       in
       Np.shutdown listener;
-      (conns, Np.stats (), !hook_drops))
+      (conns, Np.stats (), !hook_drops, !expected_closed))
 
 let check ?(faults = no_faults) ~seed () =
-  let conns, stats, hook_drops = scenario ~seed ~faults in
+  let conns, stats, hook_drops, expected_closed = scenario ~seed ~faults in
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
   let total_received = List.fold_left (fun acc (_, r) -> acc + List.length r) 0 conns in
   if stats.Np.delivered + stats.Np.dropped_closed
@@ -80,6 +84,9 @@ let check ?(faults = no_faults) ~seed () =
       stats.Np.dropped_fault
   else if hook_drops <> stats.Np.dropped_closed then
     fail "on_dropped_send fired %d times for %d closed-connection drops" hook_drops
+      stats.Np.dropped_closed
+  else if stats.Np.dropped_closed <> expected_closed then
+    fail "%d sends landed after a close but dropped_closed says %d" expected_closed
       stats.Np.dropped_closed
   else if total_received <> stats.Np.delivered then
     fail "received %d messages but delivered counter says %d" total_received stats.Np.delivered

@@ -26,6 +26,8 @@ let with_env f =
       Sm_core.Executor.shutdown exec1)
     (fun () -> f { exec2; exec1 })
 
+let threaded_executor env = env.exec2
+
 let short d = if String.length d > 16 then String.sub d 0 16 else d
 
 let coop_digest keys prog =

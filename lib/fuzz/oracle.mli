@@ -43,6 +43,14 @@ type env
 val with_env : (env -> 'a) -> 'a
 (** Create the executors, run, always shut them down. *)
 
+val threaded_executor : env -> Sm_core.Executor.t
+(** The shared 2-domain executor — what {!Agree} hands to
+    {!Sm_check.Detsan.run} so the harness reuses this env's domains. *)
+
+val coop_digest : Interp.Keyset.t -> Program.t -> string
+(** One cooperative reference run's workspace digest — also the metered run
+    the {!Agree} cost check observes [ot.transform_calls] around. *)
+
 val check :
   ?focus:string ->
   ?runs:int ->

@@ -1,5 +1,6 @@
-(** Fuzz programs: a first-class, replayable representation of a Spawn/Merge
-    spawn tree.
+(** The Spawn/Merge program IR: a first-class, replayable representation of a
+    spawn tree, shared by the fuzzer ({!Sm_fuzz}), the static analyzer
+    ({!Sm_lint}) and anything that wants to hand-author a scenario.
 
     A program is an array of {e scripts}; script 0 is the root task's body
     and a [Spawn]/[Clone] step starts a task running a strictly
@@ -10,9 +11,10 @@
     generated, shrunk, or hand written — executes without precondition.
 
     Programs print to (and parse from) a small line-oriented text format, so
-    a failure artifact is replayable with [sm-fuzz replay --program FILE]
-    and a seed plus generator config reproduces the same program forever
-    ({!generate} draws only from the given {!Sm_util.Det_rng}). *)
+    a failure artifact is replayable with [sm-fuzz replay --program FILE],
+    lintable with [sm-lint check FILE], and a seed plus generator config
+    reproduces the same program forever ({!generate} draws only from the
+    given {!Sm_util.Det_rng}). *)
 
 (** The nine mergeable types under fuzz. *)
 type ty =
@@ -28,6 +30,7 @@ type ty =
 
 val all_types : ty list
 val ty_name : ty -> string
+val ty_of_name : string -> ty option
 
 type op_spec =
   { ty : ty
@@ -42,9 +45,11 @@ type merge_kind =
   | Any  (** [merge_any] — explicitly non-deterministic *)
   | Any_set  (** [merge_any_from_set] over a bitmask subset *)
 
+val merge_kind_name : merge_kind -> string
+
 type step =
   | Op of op_spec
-  | Spawn of int  (** spawn a child running script [target idx], see {!Interp} *)
+  | Spawn of int  (** spawn a child running script {!resolve_target} *)
   | Merge of
       { kind : merge_kind
       ; sel : int  (** live-children bitmask for the [_set] variants *)
@@ -53,6 +58,10 @@ type step =
   | Sync  (** park for the parent's merge (skipped in the root script) *)
   | Clone of int  (** sibling running a higher script (skipped unless pristine) *)
   | Abort of int  (** abort live child [i mod n] (skipped with no children) *)
+  | Mint of int
+      (** mint a fresh workspace key mid-run — the static twin of DetSan's
+          key-in-task hazard.  Fixture-only: {!generate} never emits it, so
+          generated corpora stay detsan-clean. *)
 
 type t = { scripts : step list array }
 
@@ -66,6 +75,21 @@ val uses_any_merge : t -> bool
 val uses_clone : t -> bool
 (** Record/replay of merge choices requires a reproducible task tree, which
     racing clones break; the replay oracle skips these programs. *)
+
+val uses_mint : t -> bool
+(** Some script mints a key mid-run: a hand-written hazard fixture. *)
+
+val resolve_target : nscripts:int -> idx:int -> int -> int option
+(** [resolve_target ~nscripts ~idx j] is the script a [Spawn j]/[Clone j]
+    in script [idx] starts: [idx + 1 + (j mod (nscripts - idx - 1))], or
+    [None] when [idx] is the last script (the step is skipped).  One shared
+    definition keeps the interpreter and the static analyzer looking at the
+    same spawn tree. *)
+
+val well_formed : t -> (unit, string) result
+(** At least one task and no negative payload integers (the codec parses
+    negative literals but the interpreter's modular reductions assume
+    non-negative inputs) — the gate for hand-authored programs. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -105,4 +129,5 @@ val generate : Sm_util.Det_rng.t -> depth:int -> profile:profile -> t
 val shrink_step : step -> step list
 (** Well-founded single-step shrink candidates (payloads toward 0, any-merges
     toward deterministic ones, clones toward spawns) — fed to
-    {!Sm_check.Shrink.minimize} together with step dropping. *)
+    {!Sm_check.Shrink.minimize} together with step dropping.  Candidates of a
+    well-formed step are well-formed. *)

@@ -1,0 +1,162 @@
+module P = Sm_ir.Program
+
+(* All arithmetic saturates (Model.sat_add/sat_mul): bounds stay bounds. *)
+let ( +! ) = Model.sat_add
+let ( *! ) = Model.sat_mul
+
+(* How many pieces one journal op can become across a merge.  Splits happen
+   when a concurrent insert lands strictly inside a range: text range
+   deletes are capped at length 3 by the interpreter (<= 3 pieces), tree and
+   list ops shift/split around one position (<= 2).  Scalars and element
+   ops never split. *)
+let split_factor = function
+  | P.Text -> 3
+  | P.Tree | P.List -> 2
+  | P.Counter | P.Register | P.Set | P.Map | P.Queue | P.Stack -> 1
+
+(* Post-compaction journal ceilings, from the interpreter's op semantics:
+   counter adds fuse to one op, register assigns to the last one, map keys
+   and set elements are drawn mod 8 so per-key/per-element fusion caps the
+   journal at 8.  The other types have no useful static ceiling. *)
+let compact_cap = function
+  | P.Counter | P.Register -> Some 1
+  | P.Map | P.Set -> Some 8
+  | P.Text | P.List | P.Queue | P.Stack | P.Tree -> None
+
+(* Rough serialized bytes per journal op (tag + payload ints/strings) — a
+   reporting estimate, not a gated bound. *)
+let op_bytes = function
+  | P.Counter -> 9
+  | P.Register -> 16
+  | P.Text -> 24
+  | P.List -> 16
+  | P.Set -> 12
+  | P.Map -> 24
+  | P.Queue -> 12
+  | P.Stack -> 12
+  | P.Tree -> 32
+
+type script_cost =
+  { idx : int
+  ; instances : int
+  ; attempts : int
+  ; child_ops : int
+  ; calls : int
+  ; bytes : int
+  }
+
+type t =
+  { tasks : int
+  ; compaction : bool
+  ; scripts : script_cost list
+  ; total_calls : int
+  ; total_bytes : int
+  }
+
+(* Zero-transform types: every op-class pair carries the [commutes] hint, so
+   [Control.cross]'s fast path never invokes a transform.  Derived from the
+   same matrices the merge-order analysis uses. *)
+let zero_transform ty =
+  match Matrix.for_name (P.ty_name ty) with Some m -> Matrix.all_commute m | None -> false
+
+let analyze ?(compaction = true) (m : Model.t) =
+  let p = m.Model.program in
+  let n = m.Model.n in
+  (* jb.(idx).(tyi): upper bound on the (compacted) journal ops of that type
+     one instance of script [idx]'s task ships to its parent — own ops plus
+     split-inflated child journals, capped by compaction where a ceiling
+     exists.  Targets strictly increase, so a descending pass suffices. *)
+  let jb = Array.make n [||] in
+  for idx = n - 1 downto 0 do
+    let row = Array.make Model.nty 0 in
+    List.iteri
+      (fun ti ty ->
+        let from_children =
+          List.fold_left
+            (fun acc (e : Model.edge) ->
+              acc +! (split_factor ty *! jb.(e.target).(ti)))
+            0 m.Model.edges.(idx)
+        in
+        let raw = Model.own m idx ty +! from_children in
+        row.(ti) <-
+          (match (compaction, compact_cap ty) with
+          | true, Some cap -> min cap raw
+          | _ -> raw))
+      P.all_types;
+    jb.(idx) <- row
+  done;
+  let validated_merges idx =
+    List.fold_left
+      (fun acc -> function P.Merge { validate; _ } when validate > 0 -> acc + 1 | _ -> acc)
+      0 p.P.scripts.(idx)
+  in
+  let scripts = ref [] in
+  let total_calls = ref 0 in
+  let total_bytes = ref 0 in
+  let tasks = ref 0 in
+  for idx = 0 to n - 1 do
+    if m.Model.reachable.(idx) then begin
+      let instances = m.Model.instances.(idx) in
+      (* A successful merge consumes a child journal exactly once; every
+         ?validate refusal redoes the transform work and re-parks the child,
+         so each validated merge step adds one potential attempt. *)
+      let attempts = 1 + validated_merges idx in
+      let child_ops = ref 0 in
+      let calls = ref 0 in
+      let bytes = ref 0 in
+      List.iteri
+        (fun ti ty ->
+          let s = split_factor ty in
+          let from_children =
+            List.fold_left
+              (fun acc (e : Model.edge) -> acc +! (s *! jb.(e.target).(ti)))
+              0 m.Model.edges.(idx)
+          in
+          let parent_max = Model.own m idx ty +! from_children in
+          child_ops := !child_ops +! from_children;
+          if not (zero_transform ty) then
+            (* per child piece x applied op, both directions (the control
+               algorithm meters 2 per included pair), once per attempt *)
+            calls := !calls +! (attempts *! (2 *! (from_children *! (s *! parent_max))));
+          bytes := !bytes +! (attempts *! (op_bytes ty *! (from_children +! parent_max))))
+        P.all_types;
+      let row =
+        { idx
+        ; instances
+        ; attempts
+        ; child_ops = !child_ops
+        ; calls = !calls
+        ; bytes = !bytes
+        }
+      in
+      scripts := row :: !scripts;
+      tasks := !tasks +! instances;
+      total_calls := !total_calls +! (instances *! !calls);
+      total_bytes := !total_bytes +! (instances *! !bytes)
+    end
+  done;
+  { tasks = !tasks
+  ; compaction
+  ; scripts = List.rev !scripts
+  ; total_calls = !total_calls
+  ; total_bytes = !total_bytes
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "static cost model (compaction %s): %d task instance%s@."
+    (if t.compaction then "on" else "off")
+    t.tasks
+    (if t.tasks = 1 then "" else "s");
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  task %d: %d instance%s, %d merge attempt%s, <=%d child ops folded, <=%d transform \
+         calls, <=%d journal bytes@."
+        s.idx s.instances
+        (if s.instances = 1 then "" else "s")
+        s.attempts
+        (if s.attempts = 1 then "" else "s")
+        s.child_ops s.calls s.bytes)
+    t.scripts;
+  Format.fprintf ppf "  total: <=%d transform calls, <=%d journal bytes per run@." t.total_calls
+    t.total_bytes

@@ -1,0 +1,42 @@
+(** Static cost model: per-program upper bounds on OT transform calls and
+    journal bytes, derived from the IR alone.
+
+    The derivation follows the PR-4 accounting: the control algorithm meters
+    two [ot.transform_calls] per (incoming piece, applied op) pair it
+    includes, child journals are compacted before integration (ceilings from
+    the interpreter's payload bounds: counter/register fuse to 1 op, map/set
+    to at most 8), ops can split across a merge by a per-type factor (text
+    range deletes into at most 3 pieces), every [?validate] refusal redoes a
+    merge's transform work, and types whose op classes all carry the
+    [commutes] hint ride the zero-transform fast path.  Instance
+    multiplicities come from the spawn graph; all arithmetic saturates.
+
+    The transform-call total is a sound upper bound on the observed
+    [ot.transform_calls] of any run of the program (the agreement harness
+    and [sm-lint cost --run] enforce >= observed); journal bytes are a
+    reporting estimate. *)
+
+type script_cost =
+  { idx : int
+  ; instances : int  (** spawn-graph multiplicity of this script *)
+  ; attempts : int  (** merge attempts incl. [?validate] retries *)
+  ; child_ops : int  (** bound on child journal ops folded by one instance *)
+  ; calls : int  (** transform-call bound for one instance *)
+  ; bytes : int  (** journal-byte bound for one instance *)
+  }
+
+type t =
+  { tasks : int
+  ; compaction : bool
+  ; scripts : script_cost list  (** reachable scripts, ascending index *)
+  ; total_calls : int
+  ; total_bytes : int
+  }
+
+val analyze : ?compaction:bool -> Model.t -> t
+(** [compaction] (default [true], the runtime default) controls whether the
+    per-type compaction ceilings apply. *)
+
+val split_factor : Sm_ir.Program.ty -> int
+val op_bytes : Sm_ir.Program.ty -> int
+val pp : Format.formatter -> t -> unit

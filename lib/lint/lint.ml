@@ -1,0 +1,277 @@
+module P = Sm_ir.Program
+
+type report =
+  { program : P.t
+  ; model : Model.t
+  ; findings : Finding.t list
+  ; cost : Cost.t
+  }
+
+let severity_rank = function Finding.Error -> 0 | Finding.Warning -> 1 | Finding.Note -> 2
+
+let sort_findings fs =
+  List.stable_sort
+    (fun (a : Finding.t) (b : Finding.t) ->
+      compare
+        (severity_rank a.severity, a.task, a.step, a.cls)
+        (severity_rank b.severity, b.task, b.step, b.cls))
+    fs
+
+(* --- nondeterminism taint ----------------------------------------------------
+
+   Any merge_any/merge_any_from_set in a reachable script taints that task's
+   state: whichever child the scheduler finishes first wins the merge, and
+   the tainted journal flows through every ancestor merge into the root
+   digest.  The provenance chain is computed exactly — spawn targets are a
+   pure function of the IR — where DetSan reconstructs it from runtime
+   events.  Static reach over-approximates dynamic execution (budget- or
+   abort-skipped steps lint the same), which is the sound direction. *)
+
+let taint_findings (m : Model.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun idx steps ->
+      if m.Model.reachable.(idx) then
+        List.iteri
+          (fun i step ->
+            match step with
+            | P.Merge { kind = (P.Any | P.Any_set) as kind; _ } ->
+              let provenance =
+                Printf.sprintf "%s result enters task %d's state and journal"
+                  (if kind = P.Any then "merge_any" else "merge_any_from_set")
+                  idx
+                :: Model.chain_to_root m idx
+              in
+              out :=
+                Finding.make ~provenance ~cls:"nondet-merge" ~task:idx ~step:i
+                  (Printf.sprintf
+                     "merge %s picks whichever child the scheduler finishes first"
+                     (P.merge_kind_name kind))
+                :: !out
+            | P.Mint j ->
+              out :=
+                Finding.make ~cls:"key-after-spawn" ~task:idx ~step:i
+                  (Printf.sprintf
+                     "mints key \"fuzz.minted.%d\" mid-run while tasks are live; re-minted keys \
+                      make digests incomparable across runs"
+                     (j mod 4))
+                :: !out
+            | _ -> ())
+          steps)
+    m.Model.program.P.scripts;
+  !out
+
+(* --- structural hazards ----------------------------------------------------- *)
+
+let structure_findings (m : Model.t) =
+  let out = ref [] in
+  let scripts = m.Model.program.P.scripts in
+  Array.iteri
+    (fun idx steps ->
+      if m.Model.reachable.(idx) then begin
+        let merge_steps =
+          List.filteri (fun _ s -> match s with P.Merge _ -> true | _ -> false) steps
+          |> List.length
+        in
+        let last_merge =
+          snd
+            (List.fold_left
+               (fun (i, last) s ->
+                 (i + 1, match s with P.Merge _ -> i | _ -> last))
+               (0, -1) steps)
+        in
+        (* unmerged children: a spawn/clone edge with no merge after it in
+           the same script is left to the interpreter's implicit epilogue *)
+        let unmerged =
+          List.filter (fun (e : Model.edge) -> e.step > last_merge) m.Model.edges.(idx)
+        in
+        (match unmerged with
+        | [] -> ()
+        | e :: _ ->
+          out :=
+            Finding.make ~cls:"unmerged-children" ~task:idx ~step:e.Model.step
+              (Printf.sprintf
+                 "%d child%s spawned after the last of %d merge step%s: merged only by the \
+                  implicit MergeAll epilogue"
+                 (List.length unmerged)
+                 (if List.length unmerged = 1 then "" else "ren")
+                 merge_steps
+                 (if merge_steps = 1 then "" else "s"))
+            :: !out);
+        (* op-after-abort: an abort that can land on a subtree which did work *)
+        List.iteri
+          (fun i step ->
+            match step with
+            | P.Abort _ ->
+              let discardable =
+                List.filter
+                  (fun (e : Model.edge) ->
+                    e.step < i && Model.subtree_has_ops m e.target)
+                  m.Model.edges.(idx)
+              in
+              (match discardable with
+              | [] -> ()
+              | es ->
+                out :=
+                  Finding.make ~cls:"op-after-abort" ~task:idx ~step:i
+                    (Printf.sprintf
+                       "abort can discard task%s %s whose subtree performed operations"
+                       (if List.length es = 1 then "" else "s")
+                       (String.concat ", "
+                          (List.map (fun (e : Model.edge) -> string_of_int e.Model.target) es)))
+                  :: !out)
+            | P.Merge { validate; _ } when validate > 0 ->
+              let syncing =
+                List.filter
+                  (fun (e : Model.edge) -> m.Model.subtree_sync.(e.target))
+                  m.Model.edges.(idx)
+              in
+              (match syncing with
+              | [] -> ()
+              | es ->
+                out :=
+                  Finding.make ~cls:"sync-under-validate" ~task:idx ~step:i
+                    (Printf.sprintf
+                       "validated merge over a subtree with sync points (task%s %s): a refusal \
+                        re-parks the child for a later attempt"
+                       (if List.length es = 1 then "" else "s")
+                       (String.concat ", "
+                          (List.map (fun (e : Model.edge) -> string_of_int e.Model.target) es)))
+                  :: !out)
+            | _ -> ())
+          steps
+      end
+      else
+        out :=
+          Finding.make ~cls:"unreachable-task" ~task:idx ~step:(-1)
+            "no spawn/clone path from the root reaches this script; it never runs"
+          :: !out)
+    scripts;
+  !out
+
+(* --- merge-order dependence and conflict prediction -------------------------
+
+   For every reachable script, the write-sets of its child subtrees are the
+   concurrent journals its merges will serialize.  A key written by two or
+   more child subtrees whose op-class matrix has a non-convergent pair means
+   the MergeAllFromSet outcome depends on the set order (Warning, pinned
+   when the registry documents it — mqueue's "queue-push-order").  A shared
+   key whose classes all converge but transform non-trivially is a cost
+   conflict (Note). *)
+
+let conflict_findings ?(matrix_depth = 1) (m : Model.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun idx steps ->
+      (* Order-dependence only gates when the order is incidental: a
+         merge_all folds children in spawn order, which is part of the
+         program text, but a *_from_set merge's order is whatever the set
+         iteration yields.  Ordered merges downgrade the finding to a Note. *)
+      let set_merge =
+        List.exists
+          (fun s -> match s with P.Merge { kind = P.All_set | P.Any_set; _ } -> true | _ -> false)
+          steps
+      in
+      if m.Model.reachable.(idx) && List.length m.Model.edges.(idx) >= 1 then
+        List.iter
+          (fun ty ->
+            let writers =
+              List.filter
+                (fun (e : Model.edge) -> Model.subtree m e.target ty > 0)
+                m.Model.edges.(idx)
+            in
+            let parent_writes = Model.own m idx ty > 0 in
+            let key = "fuzz." ^ P.ty_name ty in
+            if List.length writers >= 2 then begin
+              match Matrix.for_name ~depth:matrix_depth (P.ty_name ty) with
+              | None -> ()
+              | Some mx ->
+                let sensitive = Matrix.order_sensitive mx in
+                if sensitive <> [] then
+                  out :=
+                    Finding.make ?pinned:mx.Matrix.pinned
+                      ?severity_override:(if set_merge then None else Some Finding.Note)
+                      ~cls:"merge-order" ~task:idx ~step:(-1)
+                      (Printf.sprintf
+                         "tasks %s all write %s; class pair%s %s do%s not converge under both \
+                          merge orders, so the merge outcome is defined by the %s order"
+                         (String.concat ", "
+                            (List.map
+                               (fun (e : Model.edge) -> string_of_int e.Model.target)
+                               writers))
+                         key
+                         (if List.length sensitive = 1 then "" else "s")
+                         (String.concat ", "
+                            (List.map
+                               (fun (c : Matrix.cell) ->
+                                 Printf.sprintf "%s x %s" c.Matrix.a_class c.Matrix.b_class)
+                               sensitive))
+                         (if List.length sensitive = 1 then "es" else "")
+                         (if set_merge then "incidental set-iteration" else "programmed spawn"))
+                    :: !out
+                else if Matrix.transform_forcing mx <> [] then
+                  out :=
+                    Finding.make ~cls:"conflict" ~task:idx ~step:(-1)
+                      (Printf.sprintf "tasks %s all write %s: transforms will fire at merge"
+                         (String.concat ", "
+                            (List.map
+                               (fun (e : Model.edge) -> string_of_int e.Model.target)
+                               writers))
+                         key)
+                    :: !out
+            end
+            else if parent_writes && writers <> [] then begin
+              match Matrix.for_name ~depth:matrix_depth (P.ty_name ty) with
+              | Some mx when Matrix.transform_forcing mx <> [] ->
+                out :=
+                  Finding.make ~cls:"conflict" ~task:idx ~step:(-1)
+                    (Printf.sprintf
+                       "task %d and child task %s both write %s: child journals transform \
+                        against the parent's ops"
+                       idx
+                       (String.concat ", "
+                          (List.map
+                             (fun (e : Model.edge) -> string_of_int e.Model.target)
+                             writers))
+                       key)
+                  :: !out
+              | _ -> ()
+            end)
+          P.all_types)
+    m.Model.program.P.scripts;
+  !out
+
+(* --- driver ------------------------------------------------------------------ *)
+
+let analyze ?matrix_depth ?compaction (p : P.t) =
+  let m = Model.build p in
+  let findings =
+    sort_findings
+      (List.concat
+         [ taint_findings m; structure_findings m; conflict_findings ?matrix_depth m ])
+  in
+  { program = p; model = m; findings; cost = Cost.analyze ?compaction m }
+
+let verdict r = Finding.verdict r.findings
+
+let summary r =
+  let count sev =
+    List.length (List.filter (fun (f : Finding.t) -> f.severity = sev) r.findings)
+  in
+  Printf.sprintf "%s (%d error%s, %d warning%s, %d note%s); <=%d transform calls"
+    (Finding.verdict_name (verdict r))
+    (count Finding.Error)
+    (if count Finding.Error = 1 then "" else "s")
+    (count Finding.Warning)
+    (if count Finding.Warning = 1 then "" else "s")
+    (count Finding.Note)
+    (if count Finding.Note = 1 then "" else "s")
+    r.cost.Cost.total_calls
+
+let pp_report ppf r =
+  Format.fprintf ppf "verdict: %s@." (Finding.verdict_name (verdict r));
+  if r.findings <> [] then begin
+    Finding.pp_list ppf r.findings;
+    Format.fprintf ppf "@."
+  end;
+  Cost.pp ppf r.cost

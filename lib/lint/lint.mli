@@ -1,0 +1,38 @@
+(** The analysis driver: run every static pass over a program and collect
+    findings plus the cost model.
+
+    Analyses (all purely over the {!Sm_ir.Program} IR):
+    - {b nondeterminism taint} — any-merges in reachable scripts, with an
+      exact provenance chain from the merge site through the spawn tree to
+      the root digest; mid-run key minting ([Mint] steps).
+    - {b structural hazards} — children left to the implicit MergeAll,
+      aborts that can discard worked subtrees, syncs under validated
+      merges, unreachable scripts.
+    - {b merge-order dependence / conflict prediction} — per-key sibling
+      write-set analysis against the derived commutation matrices
+      ({!Matrix}).
+    - {b cost} — transform-call and journal-byte upper bounds ({!Cost}).
+
+    Soundness contract (checked end-to-end by the agreement harness in
+    [lib/fuzz]): static reachability over-approximates dynamic execution, so
+    a report with {!Finding.guarantees_detsan_clean} is DetSan-clean on
+    every run, and every dynamic hazard class has a twin finding class. *)
+
+type report =
+  { program : Sm_ir.Program.t
+  ; model : Model.t
+  ; findings : Finding.t list  (** severity-major, then task/step order *)
+  ; cost : Cost.t
+  }
+
+val analyze : ?matrix_depth:int -> ?compaction:bool -> Sm_ir.Program.t -> report
+(** [matrix_depth] (default 1) is the enumeration budget for {!Matrix};
+    [compaction] (default true) is passed to {!Cost.analyze}. *)
+
+val verdict : report -> Finding.verdict
+
+val summary : report -> string
+(** One line — verdict, finding counts, transform-call bound — embedded in
+    [sm-fuzz] failure reports. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,120 @@
+module Registry = Sm_check.Registry
+
+type cell =
+  { a_class : string
+  ; b_class : string
+  ; samples : int
+  ; converges : bool
+  ; identity : bool
+  ; commutes_hint : bool
+  }
+
+type t =
+  { module_name : string
+  ; depth : int
+  ; classes : string list
+  ; cells : cell list
+  ; pinned : string option
+  }
+
+(* The op class is the leading identifier of the module's own [pp_op]
+   rendering ("add(3)" -> "add", "ins 0 v1" -> "ins"): classes come from the
+   modules, not from a parallel table that could drift. *)
+let op_class pp_op op =
+  let s = Format.asprintf "%a" pp_op op in
+  let buf = Buffer.create 8 in
+  (try
+     String.iter
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buf c
+         | _ -> raise Exit)
+       s
+   with Exit -> ());
+  match Buffer.contents buf with "" -> "op" | s -> String.lowercase_ascii s
+
+let of_entry ?(depth = 1) entry =
+  let module E = (val Registry.enum entry : Sm_check.Enum.S) in
+  let module C = Sm_ot.Control.Make (E) in
+  let tie = Sm_ot.Side.serialization in
+  let tbl : (string * string, bool * bool * bool * int) Hashtbl.t = Hashtbl.create 16 in
+  let classes = ref [] in
+  let note_class c = if not (List.mem c !classes) then classes := c :: !classes in
+  List.iter
+    (fun s ->
+      let ops = E.ops s in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let ca = op_class E.pp_op a and cb = op_class E.pp_op b in
+              note_class ca;
+              note_class cb;
+              (* both set orders of merging two one-op children into an
+                 untouched parent — exactly the MergeAllFromSet question *)
+              let m1 = C.apply_seq s (C.merge ~applied:[] ~children:[ [ a ]; [ b ] ] ~tie) in
+              let m2 = C.apply_seq s (C.merge ~applied:[] ~children:[ [ b ]; [ a ] ] ~tie) in
+              let converges = E.equal_state m1 m2 in
+              let identity =
+                match
+                  ( C.transform_seq [ a ] ~against:[ b ] ~tie
+                  , C.transform_seq [ b ] ~against:[ a ] ~tie )
+                with
+                | [ a' ], [ b' ] -> a' = a && b' = b
+                | _ -> false
+              in
+              let hint = E.commutes a b && E.commutes b a in
+              let key = if ca <= cb then (ca, cb) else (cb, ca) in
+              let c0, i0, h0, n0 =
+                Option.value (Hashtbl.find_opt tbl key) ~default:(true, true, true, 0)
+              in
+              Hashtbl.replace tbl key (c0 && converges, i0 && identity, h0 && hint, n0 + 1))
+            ops)
+        ops)
+    (E.states ~depth);
+  let cells =
+    Hashtbl.fold
+      (fun (a_class, b_class) (converges, identity, commutes_hint, samples) acc ->
+        { a_class; b_class; samples; converges; identity; commutes_hint } :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  let pinned =
+    match Registry.known_issues entry with [] -> None | k :: _ -> Some k.Registry.id
+  in
+  { module_name = Registry.name entry; depth; classes = List.sort compare !classes; cells; pinned }
+
+(* Matrices are pure functions of the module and the depth; memoize them so
+   linting a corpus derives each one once. *)
+let cache : (string * int, t) Hashtbl.t = Hashtbl.create 16
+
+let for_name ?(depth = 1) name =
+  match Registry.find name with
+  | None -> None
+  | Some entry ->
+    let key = (Registry.name entry, depth) in
+    (match Hashtbl.find_opt cache key with
+    | Some m -> Some m
+    | None ->
+      let m = of_entry ~depth entry in
+      Hashtbl.replace cache key m;
+      Some m)
+
+let order_sensitive t = List.filter (fun c -> not c.converges) t.cells
+let transform_forcing t = List.filter (fun c -> not c.identity) t.cells
+let all_commute t = List.for_all (fun c -> c.commutes_hint) t.cells
+
+let pp ppf t =
+  Format.fprintf ppf "%s (depth %d): %d class%s, %d pair%s%s@." t.module_name t.depth
+    (List.length t.classes)
+    (if List.length t.classes = 1 then "" else "es")
+    (List.length t.cells)
+    (if List.length t.cells = 1 then "" else "s")
+    (match t.pinned with None -> "" | Some id -> Printf.sprintf " (known issue: %s)" id);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-10s x %-10s %5d samples  %s%s%s@." c.a_class c.b_class c.samples
+        (if c.converges then "converges" else "ORDER-SENSITIVE")
+        (if c.identity then ", identity-transform" else ", transforms")
+        (if c.commutes_hint then ", commutes-hint" else ""))
+    t.cells

@@ -1,0 +1,57 @@
+(** Statically derived per-module commutation matrices.
+
+    For every registered op module ({!Sm_check.Registry}), enumerate small
+    states and all valid op pairs ({!Sm_check.Enum.S}) and record, per pair
+    of {e op classes} (the leading identifier of the module's [pp_op]
+    rendering):
+
+    - {b converges} — merging the two ops as one-op children in both set
+      orders through the real control algorithm ({!Sm_ot.Control.Make.merge})
+      yields equal states.  A non-convergent class pair means a
+      [MergeAllFromSet] outcome can depend on the set order — the lint
+      merge-order analysis consumes exactly this bit.
+    - {b identity} — the pairwise transforms leave both ops unchanged: the
+      pair never forces transform work (conflict prediction).
+    - {b commutes_hint} — the module's own [commutes] hint accepted the
+      pair in both directions; when it holds for {e every} pair the control
+      algorithm's fast path skips transforms entirely and the static cost
+      model can zero that key's transform bound.
+
+    Derivation is sampling-based over the bounded enumeration, so it {e
+    over-approximates conservatively}: a bit is true only when every sample
+    agreed.  The agreement harness validates the matrices empirically
+    against executed programs; [mqueue]'s push x push pair is the one
+    expected order-sensitive cell, pinned by the registry known issue
+    ["queue-push-order"]. *)
+
+type cell =
+  { a_class : string
+  ; b_class : string  (** classes ordered [a_class <= b_class] *)
+  ; samples : int  (** (state, op, op) samples behind the bits *)
+  ; converges : bool
+  ; identity : bool
+  ; commutes_hint : bool
+  }
+
+type t =
+  { module_name : string
+  ; depth : int  (** enumeration budget the matrix was derived at *)
+  ; classes : string list
+  ; cells : cell list
+  ; pinned : string option  (** registry known-issue id, when the module has one *)
+  }
+
+val of_entry : ?depth:int -> Sm_check.Registry.entry -> t
+
+val for_name : ?depth:int -> string -> t option
+(** Lenient lookup via {!Sm_check.Registry.find}, memoized per
+    (module, depth). *)
+
+val order_sensitive : t -> cell list
+val transform_forcing : t -> cell list
+
+val all_commute : t -> bool
+(** Every pair carries the [commutes] hint: merges of this type hit the
+    zero-transform fast path. *)
+
+val pp : Format.formatter -> t -> unit

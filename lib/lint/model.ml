@@ -1,0 +1,132 @@
+module P = Sm_ir.Program
+
+type edge =
+  { step : int
+  ; target : int
+  ; clone : bool
+  }
+
+type t =
+  { program : P.t
+  ; n : int
+  ; edges : edge list array
+  ; reachable : bool array
+  ; parent : (int * int) option array
+  ; instances : int array
+  ; own_ops : int array array  (** [own_ops.(idx).(tyi)]: ops of that type in the script *)
+  ; subtree_ops : int array array  (** own + every spawned/cloned descendant (per edge) *)
+  ; subtree_sync : bool array
+  ; subtree_any : bool array
+  }
+
+let nty = List.length P.all_types
+let ty_index ty = Option.get (List.find_index (fun t -> t = ty) P.all_types)
+
+(* Instance counts saturate: a hand-authored program can chain spawns into
+   counts the interpreter's task budget would never realize, and the cost
+   model only needs "at least this big" to stay an upper bound. *)
+let sat_cap = max_int / 4
+let sat x = if x > sat_cap then sat_cap else x
+let sat_add a b = sat (a + b)
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > sat_cap / b then sat_cap else sat (a * b)
+
+let build (p : P.t) =
+  let n = Array.length p.P.scripts in
+  let edges = Array.make n [] in
+  Array.iteri
+    (fun idx steps ->
+      edges.(idx) <-
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (i, acc) step ->
+                  match step with
+                  | P.Spawn j | P.Clone j -> (
+                    match P.resolve_target ~nscripts:n ~idx j with
+                    | Some target ->
+                      let clone = match step with P.Clone _ -> true | _ -> false in
+                      (i + 1, { step = i; target; clone } :: acc)
+                    | None -> (i + 1, acc))
+                  | _ -> (i + 1, acc))
+                (0, []) steps)))
+    p.P.scripts;
+  let reachable = Array.make n false in
+  let parent = Array.make n None in
+  let instances = Array.make n 0 in
+  reachable.(0) <- true;
+  instances.(0) <- 1;
+  (* targets are strictly increasing, so one ascending pass settles both
+     reachability and instance multiplicities *)
+  for idx = 0 to n - 1 do
+    if reachable.(idx) then
+      List.iter
+        (fun e ->
+          reachable.(e.target) <- true;
+          if parent.(e.target) = None then parent.(e.target) <- Some (idx, e.step);
+          instances.(e.target) <- sat_add instances.(e.target) instances.(idx))
+        edges.(idx)
+  done;
+  let own_ops =
+    Array.mapi
+      (fun _ steps ->
+        let row = Array.make nty 0 in
+        List.iter
+          (function
+            | P.Op { ty; _ } -> row.(ty_index ty) <- row.(ty_index ty) + 1
+            | _ -> ())
+          steps;
+        row)
+      p.P.scripts
+  in
+  let subtree_ops = Array.make n [||] in
+  let subtree_sync = Array.make n false in
+  let subtree_any = Array.make n false in
+  for idx = n - 1 downto 0 do
+    let row = Array.copy own_ops.(idx) in
+    let sync = ref (List.mem P.Sync p.P.scripts.(idx)) in
+    let any =
+      ref
+        (List.exists
+           (function P.Merge { kind = P.Any | P.Any_set; _ } -> true | _ -> false)
+           p.P.scripts.(idx))
+    in
+    List.iter
+      (fun e ->
+        Array.iteri (fun ti c -> row.(ti) <- sat_add row.(ti) c) subtree_ops.(e.target);
+        sync := !sync || subtree_sync.(e.target);
+        any := !any || subtree_any.(e.target))
+      edges.(idx);
+    subtree_ops.(idx) <- row;
+    subtree_sync.(idx) <- !sync;
+    subtree_any.(idx) <- !any
+  done;
+  { program = p
+  ; n
+  ; edges
+  ; reachable
+  ; parent
+  ; instances
+  ; own_ops
+  ; subtree_ops
+  ; subtree_sync
+  ; subtree_any
+  }
+
+let own m idx ty = m.own_ops.(idx).(ty_index ty)
+let subtree m idx ty = m.subtree_ops.(idx).(ty_index ty)
+let subtree_has_ops m idx = Array.exists (fun c -> c > 0) m.subtree_ops.(idx)
+
+(* Provenance: the first-spawner chain from a script up to the root, rendered
+   DetSan-style (hazard site first, digested root last). *)
+let chain_to_root m idx =
+  let rec go idx acc =
+    if idx = 0 then List.rev ("task 0's workspace is digested at end of run" :: acc)
+    else
+      match m.parent.(idx) with
+      | Some (p, step) ->
+        go p
+          (Printf.sprintf "task %d merges into task %d (spawned at task %d step %d)" idx p p step
+          :: acc)
+      | None -> List.rev (Printf.sprintf "task %d is unreachable" idx :: acc)
+  in
+  go idx []

@@ -157,6 +157,8 @@ let totals rows =
     }
     rows
 
+let transforms_observed rows = (totals rows).transforms
+
 (* The trace-derived totals under the very names the live {!Metrics}
    registry uses, so a post-hoc [sm-trace attribute] (or [expo]) can be
    compared 1:1 against a `bench --obs` dump of the same run. *)

@@ -46,6 +46,11 @@ val metric_view : row list -> (string * int) list
 (** Trace-derived totals keyed by the corresponding live metric names
     ([ot.transform_calls], [runtime.ops_merged], ...), sorted by name. *)
 
+val transforms_observed : row list -> int
+(** The summed [transforms] across rows — the observed OT work of the
+    recorded run, what a static [sm-lint cost] bound must dominate
+    ([sm-lint cost --trace] diffs exactly this number). *)
+
 val to_json : row list -> Json.t
 val pp : Format.formatter -> row list -> unit
 

@@ -131,6 +131,16 @@ let send c msg =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock c.pending_mu)
       (fun () ->
+        if Sm_util.Bqueue.is_closed c.outgoing then begin
+          (* A send into a closed connection is one lost message whatever
+             the fault plane would have decided: don't consume a fault
+             decision (Drop would book it as dropped_fault with no
+             [on_dropped_send] hook, Dup would book the loss twice).
+             [deliver] counts the dropped_closed and fires the hook once. *)
+          release_ready c;
+          deliver c msg
+        end
+        else
         match Faults.decide f with
         | Faults.Pass ->
           deliver c msg;

@@ -37,7 +37,10 @@ val send : conn -> string -> unit
     silent no-op, like writing to a socket the peer already closed — the
     reader is gone either way.  Silent for the {e sender}, that is: the drop
     still counts in {!stats} and fires {!on_dropped_send}, so a fault plane
-    (or a test) can observe what the application cannot. *)
+    (or a test) can observe what the application cannot.  That holds with a
+    {!Faults} policy installed too: a send on a closed connection never
+    consumes a fault decision — it is exactly one [dropped_closed] and one
+    hook call, whatever the policy would have said. *)
 
 val recv : conn -> string option
 (** Block until a message arrives; [None] once the peer closed and the pipe
