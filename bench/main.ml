@@ -10,6 +10,7 @@
      dune exec bench/main.exe overhead        # Section III constant-overhead study
      dune exec bench/main.exe scale           # time vs host count (Section VI)
      dune exec bench/main.exe copy            # persistent vs deep copy ablation
+     dune exec bench/main.exe spawn [--gate]  # O(cells) COW spawn vs deep copy, size sweep
      dune exec bench/main.exe dist            # distributed-runtime overhead
      dune exec bench/main.exe coop            # threaded vs cooperative scheduler
      dune exec bench/main.exe topology        # network shapes (full/ring/star/grid)
@@ -700,6 +701,159 @@ let journal_bench () =
     (if ok then "ok" else "FAILED");
   ok
 
+(* --- spawn: O(cells) copy-on-write sharing vs the deep-copy baseline -------- *)
+
+(* Workspaces for the spawn sweep: one text cell carrying the bulk state
+   (1k -> 1M chars) plus a counter, so every spawn shares exactly two cells.
+   Module-level keys: one mint site, reused across every size. *)
+let sk_text = Sm_mergeable.Mtext.key ~name:"spawn.text"
+let sk_counter = Sm_mergeable.Mcounter.key ~name:"spawn.counter"
+
+let spawn_ws ~chars =
+  let ws = Sm_mergeable.Workspace.create () in
+  Sm_mergeable.Workspace.init ws sk_text (String.make chars 'x');
+  Sm_mergeable.Workspace.init ws sk_counter 0;
+  ws
+
+(* Per-copy wall time of [Workspace.copy] under the active representation:
+   [reps] batches of [iters] copies each, min-of-batches, in us.  Min is the
+   right statistic here — noise (GC, scheduler) only ever adds time, and the
+   gate asks about the cost of the operation, not the weather. *)
+let time_spawn_copy ws ~iters ~reps =
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (Sm_mergeable.Workspace.copy ws))
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  List.fold_left (fun acc _ -> Float.min acc (batch ())) (batch ()) (List.init (reps - 1) Fun.id)
+
+(* A real spawn/merge program over the same keys, for the cross-representation
+   digest check and the depth/width sweep: a [width]-ary spawn tree [depth]
+   levels deep; every task appends a marker and bumps the counter, every
+   parent merge-alls its children. *)
+let rec spawn_tree ctx ~depth ~width =
+  let ws = Sm_core.Runtime.workspace ctx in
+  Sm_mergeable.Mtext.append ws sk_text "m";
+  Sm_mergeable.Mcounter.incr ws sk_counter;
+  if depth > 0 then begin
+    for _ = 1 to width do
+      ignore (Sm_core.Runtime.spawn ctx (fun ctx -> spawn_tree ctx ~depth:(depth - 1) ~width))
+    done;
+    Sm_core.Runtime.merge_all ctx
+  end
+
+let spawn_tree_run ~chars ~depth ~width =
+  let module Rt = Sm_core.Runtime in
+  Rt.Coop.run (fun ctx ->
+      let ws = Rt.workspace ctx in
+      Sm_mergeable.Workspace.init ws sk_text (String.make chars 'x');
+      Sm_mergeable.Workspace.init ws sk_counter 0;
+      spawn_tree ctx ~depth ~width;
+      Sm_mergeable.Workspace.digest ws)
+
+let pp_chars chars =
+  if chars >= 1_000_000 then Printf.sprintf "%dM" (chars / 1_000_000)
+  else Printf.sprintf "%dk" (chars / 1_000)
+
+(* Gates: (a) COW spawn cost is flat in state size — the 1M-char per-copy
+   time within 5x of the 1k-char one; (b) >= 10x cheaper than the deep-copy
+   baseline at 1M chars; (c) the same spawn-tree program digests identically
+   under both representations.  Returns whether all held; the driver turns
+   that into the exit code after writing BENCH_spawn.json. *)
+let spawn_bench () =
+  section "spawn: copy-on-write workspace sharing vs the deep-copy baseline";
+  let module Ws = Sm_mergeable.Workspace in
+  let module M = Sm_obs.Metrics in
+  let saved_cow = Ws.cow_enabled () in
+  let saved_m = M.is_enabled () in
+  M.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Ws.set_cow saved_cow;
+      M.set_enabled saved_m)
+  @@ fun () ->
+  let sizes = [ 1_000; 10_000; 100_000; 1_000_000 ] in
+  (* warm up allocator/code paths so the first (smallest) row isn't penalized *)
+  ignore (time_spawn_copy (spawn_ws ~chars:1_000) ~iters:200 ~reps:2);
+  Format.printf "@.per-spawn workspace copy (2 cells), min over batches:@.@.";
+  Format.printf "%-12s %14s %14s %10s@." "state" "cow copy" "deep copy" "ratio";
+  let rows =
+    List.map
+      (fun chars ->
+        let ws = spawn_ws ~chars in
+        Ws.set_cow true;
+        let cow_us = time_spawn_copy ws ~iters:1000 ~reps:5 in
+        Ws.set_cow false;
+        (* deep copies of 1M chars are ~4 orders slower; fewer iters suffice *)
+        let deep_us = time_spawn_copy ws ~iters:(if chars >= 100_000 then 50 else 500) ~reps:5 in
+        Ws.set_cow true;
+        record (Printf.sprintf "copy/cow=on/chars=%d" chars) (cow_us /. 1000.0);
+        record (Printf.sprintf "copy/cow=off/chars=%d" chars) (deep_us /. 1000.0);
+        Format.printf "%-12s %11.2f us %11.2f us %9.0fx@." (pp_chars chars ^ " chars") cow_us
+          deep_us (deep_us /. cow_us);
+        Format.print_flush ();
+        (chars, cow_us, deep_us))
+      sizes
+  in
+  (* spawn trees under the real runtime: per-spawn wall must not grow with
+     the state the tasks never touch (they append 1 char to a 10k..1M doc) *)
+  (* per-task wall includes each task's O(state) text edit — the point of the
+     sweep is that the *spawn* adds nothing as state grows, which shows up as
+     the 10k and 1M columns converging once edit cost is subtracted *)
+  Format.printf "@.spawn trees (every task edits; parents merge-all), cow on:@.@.";
+  Format.printf "%-12s %8s %8s %12s %14s@." "state" "depth" "width" "tasks" "per-task";
+  List.iter
+    (fun (depth, width) ->
+      List.iter
+        (fun chars ->
+          (* nodes of the width-ary tree, minus the root *)
+          let tasks =
+            let rec total d = if d = 0 then 1 else 1 + (width * total (d - 1)) in
+            total depth - 1
+          in
+          let t0 = Unix.gettimeofday () in
+          let (_ : string) = spawn_tree_run ~chars ~depth ~width in
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          record (Printf.sprintf "tree/d=%d/w=%d/chars=%d" depth width chars) ms;
+          Format.printf "%-12s %8d %8d %12d %11.1f us@." (pp_chars chars ^ " chars") depth width tasks
+            (ms *. 1000.0 /. float_of_int tasks);
+          Format.print_flush ())
+        [ 10_000; 1_000_000 ])
+    [ (3, 4); (64, 1) ];
+  (* cross-representation equivalence + counter accounting on one tree *)
+  let hits0 = M.value Ws.cow_hits and bytes0 = M.value Ws.copy_bytes in
+  let d_cow = spawn_tree_run ~chars:10_000 ~depth:3 ~width:4 in
+  let cow_hits = M.value Ws.cow_hits - hits0 and cow_bytes = M.value Ws.copy_bytes - bytes0 in
+  Ws.set_cow false;
+  let hits1 = M.value Ws.cow_hits and bytes1 = M.value Ws.copy_bytes in
+  let d_deep = spawn_tree_run ~chars:10_000 ~depth:3 ~width:4 in
+  let deep_hits = M.value Ws.cow_hits - hits1 and deep_bytes = M.value Ws.copy_bytes - bytes1 in
+  Ws.set_cow true;
+  Format.printf "@.equivalence: cow digest %s, deep digest %s (%s)@." d_cow d_deep
+    (if String.equal d_cow d_deep then "identical" else "DIFFER — COW CHANGED THE MERGE");
+  Format.printf "accounting:  cow: %d cow_hits, %d bytes copied; deep: %d cow_hits, %d bytes copied@."
+    cow_hits cow_bytes deep_hits deep_bytes;
+  let chars_of (c, _, _) = c in
+  let cow_of (_, c, _) = c and deep_of (_, _, d) = d in
+  let at n = List.find (fun r -> chars_of r = n) rows in
+  let flat_ok = cow_of (at 1_000_000) <= 5.0 *. cow_of (at 1_000) in
+  let ratio = deep_of (at 1_000_000) /. cow_of (at 1_000_000) in
+  let ratio_ok = ratio >= 10.0 in
+  let digest_ok = String.equal d_cow d_deep in
+  let ok = flat_ok && ratio_ok && digest_ok && cow_bytes = 0 in
+  Format.printf
+    "@.gate: %s (flat: 1M/1k cow ratio %.1fx <= 5x: %s; 1M deep/cow %.0fx >= 10x: %s; digests \
+     equal: %s; 0 bytes copied under cow: %s)@."
+    (if ok then "ok" else "FAILED")
+    (cow_of (at 1_000_000) /. cow_of (at 1_000))
+    (if flat_ok then "ok" else "FAIL")
+    ratio
+    (if ratio_ok then "ok" else "FAIL")
+    (if digest_ok then "ok" else "FAIL")
+    (if cow_bytes = 0 then "ok" else "FAIL");
+  ok
+
 (* --- service: the shard service under an editor fleet ----------------------- *)
 
 (* One module-level document set for every service run in this process: the
@@ -1010,6 +1164,10 @@ let () =
   | _ :: "coop" :: _ -> coop_bench (); finish "coop"
   | _ :: "topology" :: _ -> topology_bench (); finish "topology"
   | _ :: "semaphore" :: _ -> semaphore_bench (); finish "semaphore"
+  | _ :: "spawn" :: _ ->
+    let ok = spawn_bench () in
+    finish "spawn";
+    if has "--gate" && not ok then exit 1
   | _ :: "journal" :: _ ->
     let ok = journal_bench () in
     finish "journal";
@@ -1031,6 +1189,7 @@ let () =
     overhead ();
     scale ();
     copy_ablation ();
+    ignore (spawn_bench ());
     dist_bench ();
     coop_bench ();
     topology_bench ();
@@ -1042,6 +1201,6 @@ let () =
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|obs [--gate]|micro|fuzz|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|spawn [--gate]|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|obs [--gate]|micro|fuzz|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

@@ -10,7 +10,7 @@ type failure =
 let pp_failure ppf { oracle; detail } = Format.fprintf ppf "[%s] %s" oracle detail
 
 let oracle_names =
-  [ "crash"; "differential"; "determinism"; "compaction"; "detsan"; "trace"; "replay" ]
+  [ "crash"; "differential"; "determinism"; "compaction"; "cow"; "detsan"; "trace"; "replay" ]
 
 type env =
   { exec2 : Sm_core.Executor.t
@@ -90,6 +90,27 @@ let compaction_oracle keys prog baseline =
     fail "compaction" "compaction-off digest %s <> on %s" (short d) (short baseline)
   else Ok ()
 
+(* Differential over the workspace representation: the copy-on-write sharing
+   (default) and the paper's literal deep-copy-per-spawn baseline must be
+   observationally identical — same final states, hence byte-identical
+   digests.  Mirrors [compaction_oracle]'s flag save/flip/restore. *)
+let cow_oracle keys prog baseline =
+  let was = Ws.cow_enabled () in
+  let d =
+    Fun.protect
+      ~finally:(fun () -> Ws.set_cow was)
+      (fun () ->
+        Ws.set_cow (not was);
+        coop_digest keys prog)
+  in
+  if d <> baseline then
+    fail "cow" "cow-%s digest %s <> cow-%s %s"
+      (if was then "off" else "on")
+      (short d)
+      (if was then "on" else "off")
+      (short baseline)
+  else Ok ()
+
 let detsan_oracle env keys prog =
   if Program.uses_any_merge prog then Ok ()
   else begin
@@ -149,6 +170,7 @@ let check ?focus ?(runs = 3) ?mutate env prog =
     ; ("differential", fun () -> differential_oracle prog base mutate)
     ; ("determinism", fun () -> determinism_oracle env keys prog base ~runs)
     ; ("compaction", fun () -> compaction_oracle keys prog base)
+    ; ("cow", fun () -> cow_oracle keys prog base)
     ; ("detsan", fun () -> detsan_oracle env keys prog)
     ; ("trace", fun () -> trace_oracle keys prog)
     ; ("replay", fun () -> replay_oracle env keys prog)

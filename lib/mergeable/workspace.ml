@@ -20,14 +20,33 @@ module Sanitizer_hook = struct
   let active () = !hook <> None
 end
 
-(* A cell holds one mergeable value: its current (persistent) state plus the
-   journal of operations applied since the cell was created or last rebased.
+(* Copy-on-write accounting, gated exactly like Control's transform_calls:
+   one load + branch while Sm_obs metrics are disabled.  [ws.cow_hits]
+   counts cells whose state pointer diverged from a base snapshot shared at
+   spawn/clone/rebase (the "copy on first write" event — with persistent
+   states the "copy" is the O(1) pointer swap the apply performs, never a
+   byte copy); [ws.copy_bytes] counts the bytes the deep-copy baseline
+   ({!set_cow} off) materializes at share points, and stays 0 under COW. *)
+let cow_hits = Sm_obs.Metrics.counter "ws.cow_hits"
+let copy_bytes = Sm_obs.Metrics.counter "ws.copy_bytes"
+
+(* A cell holds one mergeable value as an immutable snapshot plus the journal
+   of operations applied since the cell was created or last rebased.
    [offset] counts journal entries dropped by [truncate]; the cell's version
-   is [offset + length journal]. *)
+   is [offset + length journal].  [state] materializes the value only up to
+   [applied] (an absolute version, [offset <= applied <= version]): merges
+   append transformed journal entries without touching [state], and the
+   suffix [applied .. version) is folded in lazily by [force] at the next
+   observation (read, update, digest, share point).  [shared] marks a state
+   pointer that some other workspace aliases as its base snapshot — cleared,
+   and counted as a [ws.cow_hits], the first time this cell's state moves
+   past it. *)
 type ('s, 'o) cell =
   { mutable state : 's
+  ; mutable applied : int
   ; mutable journal : 'o Sm_util.Vec.t
   ; mutable offset : int
+  ; mutable shared : bool
   }
 
 type boxed = ..
@@ -89,6 +108,22 @@ let compaction = Atomic.make true
 let set_compaction on = Atomic.set compaction on
 let compaction_enabled () = Atomic.get compaction
 
+(* Copy-on-write sharing at spawn/clone/rebase.  Default on: children alias
+   the parent's (persistent) state snapshots, so sharing a workspace is
+   O(cells) regardless of state size.  Off is the paper's literal model —
+   every share point materializes a structural deep copy per cell
+   ([Data.S.copy_state], metered in [ws.copy_bytes]) — kept as a switchable
+   baseline so the representations stay differentially comparable: states,
+   journals and digests must be identical either way.  [SM_COW=0] in the
+   environment selects the baseline for a whole process (the legacy-mode CI
+   job). *)
+let cow =
+  Atomic.make
+    (match Sys.getenv_opt "SM_COW" with Some ("0" | "off" | "false") -> false | _ -> true)
+
+let set_cow on = Atomic.set cow on
+let cow_enabled () = Atomic.get cow
+
 let create () = { uid = Atomic.fetch_and_add next_ws_uid 1; cells = Imap.empty }
 
 let ws_uid t = t.uid
@@ -105,22 +140,58 @@ let get_cell t k =
 
 let mem t k = Imap.mem k.id t.cells
 
+let cell_count t = Imap.cardinal t.cells
+
 let init t k state =
   if mem t k then raise (Already_bound k.name);
-  let cell = { state; journal = Sm_util.Vec.create (); offset = 0 } in
+  let cell =
+    { state; applied = 0; journal = Sm_util.Vec.create (); offset = 0; shared = false }
+  in
   t.cells <- Imap.add k.id (P (k, cell)) t.cells
 
-let read t k = (get_cell t k).state
+let cell_version c = c.offset + Sm_util.Vec.length c.journal
+
+(* The cell's state pointer is about to move past a snapshot someone may
+   alias: count the copy-on-first-write event once per sharing window. *)
+let privatize c =
+  if c.shared then begin
+    Sm_obs.Metrics.incr cow_hits;
+    c.shared <- false
+  end
+
+(* Materialize the value: fold the journal suffix [applied .. version) into
+   [state].  Persistent applies never mutate the old snapshot, so aliases
+   taken at share points stay valid — this is where a lazily merged journal
+   finally becomes a state, and the only place a reader pays for it. *)
+let force (type s o) (k : (s, o) key) (c : (s, o) cell) =
+  let version = cell_version c in
+  if c.applied < version then begin
+    let module D = (val k.data) in
+    privatize c;
+    let rec go i state =
+      if i >= Sm_util.Vec.length c.journal then state
+      else go (i + 1) (D.apply state (Sm_util.Vec.get c.journal i))
+    in
+    c.state <- go (c.applied - c.offset) c.state;
+    c.applied <- version
+  end
+
+let forced_state k c =
+  force k c;
+  c.state
+
+let read t k = forced_state k (get_cell t k)
 
 let update (type s o) t (k : (s, o) key) (op : o) =
   let module D = (val k.data) in
   let cell = get_cell t k in
+  force k cell;
+  privatize cell;
   cell.state <- D.apply cell.state op;
   Sm_util.Vec.push cell.journal op;
+  cell.applied <- cell.applied + 1;
   if Sanitizer_hook.active () then
     Sanitizer_hook.emit (Sanitizer_hook.Updated { ws_id = t.uid; key = k.name })
-
-let cell_version c = c.offset + Sm_util.Vec.length c.journal
 
 (* Like [update], but the journal is trimmed at the new head instead of
    retaining the operation: the version still advances, and [journal_since]
@@ -130,11 +201,15 @@ let cell_version c = c.offset + Sm_util.Vec.length c.journal
 let update_trimming (type s o) t (k : (s, o) key) (op : o) =
   let module D = (val k.data) in
   let cell = get_cell t k in
+  force k cell;
+  privatize cell;
   cell.state <- D.apply cell.state op;
   cell.offset <- cell_version cell + 1;
   Sm_util.Vec.clear cell.journal;
+  cell.applied <- cell.offset;
   if Sanitizer_hook.active () then
     Sanitizer_hook.emit (Sanitizer_hook.Updated { ws_id = t.uid; key = k.name })
+
 let version_of t k = cell_version (get_cell t k)
 
 let key_names t = List.map (fun (_, P (k, _)) -> k.name) (Imap.bindings t.cells)
@@ -156,7 +231,31 @@ let snapshot t = Imap.map (fun (P (_, c)) -> cell_version c) t.cells
 let op_count t =
   Imap.fold (fun _ (P (_, c)) acc -> acc + Sm_util.Vec.length c.journal) t.cells 0
 
-let fresh_copy (P (k, c)) = P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = 0 })
+(* The state a share point hands out: materialized, and either aliased
+   (COW, the default — mark both sides shared so the first write on either
+   is visible as a cow hit) or deep-copied per the paper's baseline, with
+   the copied bytes metered. *)
+let share_state (type s o) (k : (s, o) key) (c : (s, o) cell) : s =
+  let module D = (val k.data) in
+  force k c;
+  if Atomic.get cow then begin
+    c.shared <- true;
+    c.state
+  end
+  else begin
+    Sm_obs.Metrics.add copy_bytes (D.state_size c.state);
+    D.copy_state c.state
+  end
+
+let fresh_copy (P (k, c)) =
+  P
+    ( k
+    , { state = share_state k c
+      ; applied = 0
+      ; journal = Sm_util.Vec.create ()
+      ; offset = 0
+      ; shared = Atomic.get cow
+      } )
 
 let copy t = { uid = Atomic.fetch_and_add next_ws_uid 1; cells = Imap.map fresh_copy t.cells }
 
@@ -165,7 +264,28 @@ let clone_full t =
   ; cells =
       Imap.map
         (fun (P (k, c)) ->
-          P (k, { state = c.state; journal = Sm_util.Vec.copy c.journal; offset = c.offset }))
+          (* The journal suffix travels with the clone, so the unapplied tail
+             needs no materialization: only the [applied] snapshot is shared
+             (or deep-copied under the baseline). *)
+          let state =
+            if Atomic.get cow then begin
+              c.shared <- true;
+              c.state
+            end
+            else begin
+              let module D = (val k.data) in
+              Sm_obs.Metrics.add copy_bytes (D.state_size c.state);
+              D.copy_state c.state
+            end
+          in
+          P
+            ( k
+            , { state
+              ; applied = c.applied
+              ; journal = Sm_util.Vec.copy c.journal
+              ; offset = c.offset
+              ; shared = Atomic.get cow
+              } ))
         t.cells
   }
 
@@ -173,7 +293,16 @@ let clone_trimmed t =
   { uid = Atomic.fetch_and_add next_ws_uid 1
   ; cells =
       Imap.map
-        (fun (P (k, c)) -> P (k, { state = c.state; journal = Sm_util.Vec.create (); offset = cell_version c }))
+        (fun (P (k, c)) ->
+          let version = cell_version c in
+          P
+            ( k
+            , { state = share_state k c
+              ; applied = version
+              ; journal = Sm_util.Vec.create ()
+              ; offset = version
+              ; shared = Atomic.get cow
+              } ))
         t.cells
   }
 
@@ -189,7 +318,10 @@ let integrate (type s o) (k : (s, o) key) ~(parent : (s, o) cell) ~(ops : o list
   let parent_since = Sm_util.Vec.slice parent.journal ~from:(base_version - parent.offset) in
   let ops = if Atomic.get compaction then C.compact ops else ops in
   let ops' = C.transform_seq ops ~against:parent_since ~tie:Sm_ot.Side.serialization in
-  parent.state <- C.apply_seq parent.state ops';
+  (* Lazy materialization: the merged operations land in the journal only.
+     The parent's state catches up in [force] at its next observation — so a
+     task that merges children and is itself merged away (the interior of a
+     deep spawn tree) never pays an apply for the ops flowing through it. *)
   Sm_util.Vec.append_list parent.journal ops'
 
 let merge_cell k ~parent ~child ~base_version =
@@ -214,12 +346,27 @@ let merge_child ~parent ~child ~base =
              later). *)
           raise (Already_bound k.name)
       | None ->
-        (* Key initialized inside the child: install a detached copy (the
-           child may keep mutating its own cell until it terminates). *)
+        (* Key initialized inside the child: install a detached cell (the
+           child may keep mutating its own cell until it terminates; the
+           journal is copied, and the snapshot shared or deep-copied per the
+           active representation — persistent applies keep the alias safe). *)
+        let state =
+          if Atomic.get cow then begin
+            child_cell.shared <- true;
+            child_cell.state
+          end
+          else begin
+            let module D = (val k.data) in
+            Sm_obs.Metrics.add copy_bytes (D.state_size child_cell.state);
+            D.copy_state child_cell.state
+          end
+        in
         let detached =
-          { state = child_cell.state
+          { state
+          ; applied = child_cell.applied
           ; journal = Sm_util.Vec.copy child_cell.journal
           ; offset = child_cell.offset
+          ; shared = Atomic.get cow
           }
         in
         parent.cells <- Imap.add id (P (k, detached)) parent.cells)
@@ -234,7 +381,12 @@ let truncate t ~keep =
   Imap.iter
     (fun id (P (_, c)) ->
       let keep_from = Versions.find id keep in
-      let drop = min (keep_from - c.offset) (Sm_util.Vec.length c.journal) in
+      (* Never drop past [applied]: the unmaterialized suffix is still needed
+         to force the state.  Those entries fall to a later truncation, once
+         an observation has folded them in. *)
+      let drop =
+        min (min (keep_from - c.offset) (c.applied - c.offset)) (Sm_util.Vec.length c.journal)
+      in
       if drop > 0 then begin
         c.journal <- Sm_util.Vec.of_list (Sm_util.Vec.slice c.journal ~from:drop);
         c.offset <- c.offset + drop
@@ -264,7 +416,7 @@ let digest t =
            including it would make digests of same-named keysets (clean vs
            mutated — the fuzzer's differential oracle) incomparable *)
         let cell_repr =
-          Format.asprintf "%s:%s:%a" D.type_name k.name D.pp_state c.state
+          Format.asprintf "%s:%s:%a" D.type_name k.name D.pp_state (forced_state k c)
         in
         Sm_util.Fnv.combine acc (Sm_util.Fnv.hash cell_repr))
       t.cells (Sm_util.Fnv.hash "workspace")
@@ -282,13 +434,13 @@ let equal a b =
            | None -> false
            | Some cb ->
              let module D = (val k.data) in
-             D.equal_state ca.state cb.state))
+             D.equal_state (forced_state k ca) (forced_state k cb)))
        a.cells
 
 let pp ppf t =
   let pp_cell ppf (_, P (k, c)) =
     let module D = (val k.data) in
-    Format.fprintf ppf "%s = %a" k.name D.pp_state c.state
+    Format.fprintf ppf "%s = %a" k.name D.pp_state (forced_state k c)
   in
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_cell)

@@ -15,7 +15,34 @@
     guarantees each workspace is touched by one thread at a time (its owning
     task, or the parent during a merge while the child is parked), which is
     precisely how the paper's model eliminates data races — tasks never share
-    mutable state, so there is nothing to lock. *)
+    mutable state, so there is nothing to lock.
+
+    {2 Representation: persistent snapshots + journals (copy-on-write)}
+
+    Each bound value is a {e cell}: an immutable state snapshot plus the
+    journal of operations recorded since the cell was created or rebased.
+    The snapshot materializes the value only up to an internal [applied]
+    watermark; {!merge_child}/{!merge_ops} append transformed operations to
+    the journal {e without} touching the snapshot, and the suffix is folded
+    in lazily at the next observation ({!read}, {!update}, {!digest},
+    {!equal}, {!pp}, or any share point below).  Interior tasks of a deep
+    spawn tree therefore never pay an apply for operations merely flowing
+    through them.
+
+    Because states are persistent OCaml values, the share points —
+    {!copy} (spawn), {!clone_full}, {!clone_trimmed}, {!rebase_from} —
+    alias the parent's snapshots instead of copying them: sharing a
+    workspace is O(cells), independent of state size, and the "copy" of
+    copy-on-write is the O(1) pointer swap the next {!update} performs.
+    Two process-global counters make this observable: [ws.cow_hits]
+    (first write to a still-shared snapshot) and [ws.copy_bytes] (bytes
+    deep-copied by the baseline below; always 0 under COW).
+
+    {!set_cow} [false] switches to the paper's literal model — every share
+    point materializes a structural deep copy per cell via
+    [Data.S.copy_state] — kept as a differential baseline: states,
+    journals and digests must be byte-identical either way (the fuzzer's
+    [cow] oracle and the [SM_COW=0] CI job assert this). *)
 
 type t
 
@@ -100,18 +127,24 @@ val op_count : t -> int
 (** Total journalled (not yet truncated) operations across every bound key —
     what a merge of this workspace would transmit.  O(bindings). *)
 
+val cell_count : t -> int
+(** Number of bound keys — the [O(cells)] in "spawn is O(cells)". *)
+
 val copy : t -> t
-(** Child copy: same bindings and states, empty journals.  O(bindings) — the
-    persistent states are shared, not deep-copied, so "copying" a workspace
-    is cheap and copy-on-write comes for free (the paper's future-work
-    optimization falls out of persistent data structures). *)
+(** Child copy: same bindings and states, empty journals.  O(bindings) when
+    {!cow_enabled} — the persistent states are shared, not deep-copied, so
+    "copying" a workspace is cheap and copy-on-write comes for free (the
+    paper's future-work optimization falls out of persistent data
+    structures).  With COW off, each state is deep-copied
+    ([Data.S.copy_state], metered in [ws.copy_bytes]). *)
 
 val merge_child : parent:t -> child:t -> base:Versions.t -> unit
 (** Merge a child's journals into the parent.  [base] must be the parent
     snapshot taken when the child's journals were last empty (spawn or
     sync).  For each key bound in both: compact the child's journal (when
     {!compaction_enabled}), transform it against the parent's operations
-    since [base] and apply + journal the result in the parent.  Keys the
+    since [base] and journal the result in the parent (the parent's state
+    catches up lazily at its next observation).  Keys the
     child initialized itself are installed in the parent ({!Already_bound}
     if the parent initialized them too); keys the parent gained since spawn
     are untouched.  Deterministic given [base] and both journals. *)
@@ -125,6 +158,34 @@ val set_compaction : bool -> unit
 
 val compaction_enabled : unit -> bool
 (** Current {!set_compaction} setting. *)
+
+val set_cow : bool -> unit
+(** Toggle copy-on-write sharing at share points (process global, default
+    on).  On: {!copy}/{!clone_full}/{!clone_trimmed}/{!rebase_from} alias
+    the persistent state snapshots — O(cells) regardless of state size.
+    Off: the paper's literal deep-copy model — each share point
+    materializes a structural copy per cell ([Data.S.copy_state]), with
+    the copied bytes metered in [ws.copy_bytes].  States, journals and
+    digests are identical either way; the switch exists so that the
+    equivalence can be measured (the spawn benchmark's speedup gate) and
+    asserted (the fuzzer's [cow] differential oracle, the [SM_COW=0] CI
+    job). *)
+
+val cow_enabled : unit -> bool
+(** Current {!set_cow} setting.  Initialized from the [SM_COW] environment
+    variable at startup ([0]/[off]/[false] select the deep-copy baseline);
+    defaults to on. *)
+
+val cow_hits : Sm_obs.Metrics.counter
+(** [ws.cow_hits] — cells whose snapshot pointer diverged from a base
+    shared at a share point (the copy-on-first-write event; with
+    persistent states the "copy" is an O(1) pointer swap, never a byte
+    copy).  Counted at most once per cell per sharing window. *)
+
+val copy_bytes : Sm_obs.Metrics.counter
+(** [ws.copy_bytes] — approximate bytes deep-copied at share points by the
+    {!set_cow}-off baseline ([Data.S.state_size] per copied cell).  Stays
+    0 under COW: the whole point. *)
 
 val clone_full : t -> t
 (** A complete clone: states, journals and truncation offsets.  Unlike
@@ -148,7 +209,8 @@ val adopt : t -> from:t -> unit
 val merge_ops : t -> ('s, 'o) key -> ops:'o list -> base_version:int -> unit
 (** Low-level single-value merge: transform [ops] — a concurrent journal
     recorded against this value's state as of [base_version] — over
-    everything applied since, then apply and journal the result.  This is
+    everything applied since, then journal the result (applied lazily at
+    the next observation).  This is
     what {!merge_child} does per key; exposed for the distributed runtime,
     which receives child journals as decoded messages rather than whole
     workspaces.

@@ -5,6 +5,8 @@ type row =
   ; task_id : int
   ; spawns : int
   ; clones : int
+  ; spawn_cells : int
+  ; spawn_copy_bytes : int
   ; merge_batches : int
   ; children_merged : int
   ; ops_folded : int
@@ -32,6 +34,8 @@ let row_of_task (t : M.task) =
   ; task_id = t.M.id
   ; spawns = List.length t.M.children - t.M.clones_spawned
   ; clones = t.M.clones_spawned
+  ; spawn_cells = t.M.spawn_cells
+  ; spawn_copy_bytes = t.M.spawn_copy_bytes
   ; merge_batches = List.length t.M.merges
   ; children_merged = List.length records
   ; ops_folded = List.fold_left (fun a r -> a + r.M.mc_ops) 0 records
@@ -113,6 +117,8 @@ let totals rows =
       { acc with
         spawns = acc.spawns + r.spawns
       ; clones = acc.clones + r.clones
+      ; spawn_cells = acc.spawn_cells + r.spawn_cells
+      ; spawn_copy_bytes = acc.spawn_copy_bytes + r.spawn_copy_bytes
       ; merge_batches = acc.merge_batches + r.merge_batches
       ; children_merged = acc.children_merged + r.children_merged
       ; ops_folded = acc.ops_folded + r.ops_folded
@@ -136,6 +142,8 @@ let totals rows =
     ; task_id = -1
     ; spawns = 0
     ; clones = 0
+    ; spawn_cells = 0
+    ; spawn_copy_bytes = 0
     ; merge_batches = 0
     ; children_merged = 0
     ; ops_folded = 0
@@ -186,6 +194,8 @@ let to_json rows =
       ; ("task_id", Json.Int r.task_id)
       ; ("spawns", Json.Int r.spawns)
       ; ("clones", Json.Int r.clones)
+      ; ("spawn_cells", Json.Int r.spawn_cells)
+      ; ("spawn_copy_bytes", Json.Int r.spawn_copy_bytes)
       ; ("merge_batches", Json.Int r.merge_batches)
       ; ("children_merged", Json.Int r.children_merged)
       ; ("ops_folded", Json.Int r.ops_folded)
@@ -232,6 +242,10 @@ let pp ppf rows =
     Format.fprintf ppf "  %-32s %.2f (%d -> %d ops)@." "compaction ratio"
       (float_of_int t.compact_out /. float_of_int t.compact_in)
       t.compact_in t.compact_out;
+  if t.spawn_cells > 0 then
+    Format.fprintf ppf "  %-32s %d cells shared, %d bytes deep-copied%s@." "spawn cost"
+      t.spawn_cells t.spawn_copy_bytes
+      (if t.spawn_copy_bytes = 0 then " (copy-on-write)" else "");
   if t.epochs > 0 then
     Format.fprintf ppf "  %-32s %d epochs, %d edits folded@." "shard epochs" t.epochs
       t.epoch_edits;

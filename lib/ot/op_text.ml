@@ -86,6 +86,10 @@ let compact ops =
 
 let commutes _ _ = false
 
+(* The one genuinely O(n) deep copy: a fresh string of the document. *)
+let copy_state s = Bytes.unsafe_to_string (Bytes.of_string s)
+let state_size s = Op_sig.word_bytes + String.length s
+
 let equal_state = String.equal
 let pp_state ppf s = Format.fprintf ppf "%S" s
 

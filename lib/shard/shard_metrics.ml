@@ -112,6 +112,15 @@ let pp_hot_docs ppf docs =
           d.Server.d_ops d.Server.d_transforms d.Server.d_compact_in d.Server.d_compact_out ratio)
       docs
 
+(* Workspace sharing counters (process-global): how many cells hit their
+   copy-on-first-write, and how many bytes the deep-copy baseline
+   materialized (0 under COW). *)
+let pp_ws ppf () =
+  Format.fprintf ppf "ws: cow=%s cow_hits=%d copy_bytes=%d@."
+    (if Sm_mergeable.Workspace.cow_enabled () then "on" else "off")
+    (Obs.Metrics.value Sm_mergeable.Workspace.cow_hits)
+    (Obs.Metrics.value Sm_mergeable.Workspace.copy_bytes)
+
 let pp_net ppf (st : Netpipe.stats) =
   Format.fprintf ppf
     "net: sends=%d delivered=%d dropped(closed)=%d dropped(fault)=%d dup=%d delayed=%d \
@@ -125,6 +134,7 @@ let report ?limit servers =
   Format.fprintf ppf "@.";
   pp_hot_docs ppf (hot_docs ?limit servers);
   Format.fprintf ppf "@.";
+  pp_ws ppf ();
   pp_net ppf (Netpipe.stats ());
   Format.pp_print_flush ppf ();
   Buffer.contents buf
