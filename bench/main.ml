@@ -18,6 +18,7 @@
      dune exec bench/main.exe journal [--gate]  # journal compaction payoff on MergeAll
      dune exec bench/main.exe service [--gate]  # shard service: delta sync vs snapshots
      dune exec bench/main.exe obs [--gate]    # observability overhead (recorder/tracing)
+     dune exec bench/main.exe text [--gate]   # chunked-rope Mtext vs flat strings, wire bytes
      dune exec bench/main.exe micro           # bechamel component microbenches
      dune exec bench/main.exe fuzz            # sm-fuzz seeds/second (CI budget sizing)
 
@@ -632,7 +633,7 @@ let journal_run ~children ~ops_per_child ~compaction =
       M.set_enabled saved_m)
   @@ fun () ->
   let parent = Ws.create () in
-  Ws.init parent jk_text "";
+  Sm_mergeable.Mtext.init parent jk_text "";
   Ws.init parent jk_map J_map.Op.Key_map.empty;
   Ws.init parent jk_reg "-";
   Ws.init parent jk_counter 0;
@@ -711,7 +712,7 @@ let sk_counter = Sm_mergeable.Mcounter.key ~name:"spawn.counter"
 
 let spawn_ws ~chars =
   let ws = Sm_mergeable.Workspace.create () in
-  Sm_mergeable.Workspace.init ws sk_text (String.make chars 'x');
+  Sm_mergeable.Mtext.init ws sk_text (String.make chars 'x');
   Sm_mergeable.Workspace.init ws sk_counter 0;
   ws
 
@@ -748,7 +749,7 @@ let spawn_tree_run ~chars ~depth ~width =
   let module Rt = Sm_core.Runtime in
   Rt.Coop.run (fun ctx ->
       let ws = Rt.workspace ctx in
-      Sm_mergeable.Workspace.init ws sk_text (String.make chars 'x');
+      Sm_mergeable.Mtext.init ws sk_text (String.make chars 'x');
       Sm_mergeable.Workspace.init ws sk_counter 0;
       spawn_tree ctx ~depth ~width;
       Sm_mergeable.Workspace.digest ws)
@@ -965,8 +966,8 @@ let service_bench () =
    machine: (a) the default configuration — flight recorder on, tracing and
    metrics off — stays within 3% wall-clock of the everything-off
    configuration, which is code-path-identical to the pre-observability
-   service (context minting is gated on the Info level and sealing without a
-   context emits version-1 frames byte-for-byte); (b) the full paper-scale
+   service (context minting is gated on the Info level; sealing without a
+   context leaves the frame's context slot empty); (b) the full paper-scale
    4-shard/1000-editor run completes under full Debug tracing with digests
    identical to its untraced baseline — observation must never change the
    computation. *)
@@ -1097,6 +1098,125 @@ let fuzz_bench () =
 
 (* --- driver ----------------------------------------------------------------- *)
 
+(* --- text: chunked-rope documents vs the flat-string baseline --------------- *)
+
+(* One key for every text run in this process: a single mint site, like the
+   spawn and service keys above. *)
+let tk_doc = Sm_mergeable.Mtext.key ~name:"text.doc"
+
+(* A deterministic [nops]-op edit session valid on a [len]-byte document:
+   mixed inserts (55%, 1-24 bytes) and deletes (1-32 bytes), positions
+   uniform over the evolving document. *)
+let text_session ~seed ~len ~nops =
+  let module Rng = Sm_util.Det_rng in
+  let rng = Rng.create ~seed in
+  let l = ref len in
+  List.init nops (fun _ ->
+      if !l = 0 || Rng.float rng < 0.55 then begin
+        let pos = Rng.int rng ~bound:(!l + 1) in
+        let s = Rng.bytes rng ~len:(1 + Rng.int rng ~bound:24) in
+        l := !l + String.length s;
+        Sm_ot.Op_text.Ins (pos, s)
+      end
+      else begin
+        let pos = Rng.int rng ~bound:!l in
+        let dl = 1 + Rng.int rng ~bound:(min 32 (!l - pos)) in
+        l := !l - dl;
+        Sm_ot.Op_text.Del (pos, dl)
+      end)
+
+(* Gates: (a) the 1M-char/10k-op session runs >= 10x faster on the rope than
+   on the flat string; (b) both representations land on byte-identical
+   documents, and a workspace-level session digests identically under either
+   SM_ROPE setting; (c) the packed journal encoding of the session is
+   strictly smaller than the classic tagged-op-list one.  Returns whether
+   all held; the driver turns that into the exit code after writing
+   BENCH_text.json. *)
+let text_bench () =
+  section "text: chunked-rope Mtext vs the flat-string baseline";
+  let module T = Sm_ot.Op_text in
+  let module C = Sm_util.Codec in
+  let nops = 10_000 in
+  let time_once st ops =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (List.fold_left T.apply st ops));
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let time_min ~reps st ops =
+    List.fold_left
+      (fun acc _ -> Float.min acc (time_once st ops))
+      (time_once st ops)
+      (List.init (max 0 (reps - 1)) Fun.id)
+  in
+  Format.printf "@.%d-op edit sessions (55%% ins / 45%% del), min over batches:@.@." nops;
+  Format.printf "%-12s %12s %12s %10s@." "doc" "rope" "flat" "speedup";
+  let rows =
+    List.map
+      (fun chars ->
+        let doc = String.init chars (fun i -> Char.chr (97 + (i mod 26))) in
+        let ops = text_session ~seed:(Int64.of_int (0xB00C + chars)) ~len:chars ~nops in
+        let rope_ms = time_min ~reps:3 (T.rope_of_string doc) ops in
+        let flat_ms = time_min ~reps:(if chars >= 1_000_000 then 1 else 2) (T.flat_of_string doc) ops in
+        record (Printf.sprintf "apply/rope/chars=%d" chars) rope_ms;
+        record (Printf.sprintf "apply/flat/chars=%d" chars) flat_ms;
+        Format.printf "%-12s %9.2f ms %9.2f ms %9.1fx@." (pp_chars chars ^ " chars") rope_ms
+          flat_ms (flat_ms /. rope_ms);
+        Format.print_flush ();
+        (chars, doc, ops, rope_ms, flat_ms))
+      [ 10_000; 100_000; 1_000_000 ]
+  in
+  let chars_of (c, _, _, _, _) = c in
+  let _, doc1m, ops1m, rope_ms, flat_ms = List.find (fun r -> chars_of r = 1_000_000) rows in
+  (* equivalence on the gated session: byte-identical final documents *)
+  let final st = List.fold_left T.apply st ops1m in
+  let f_rope = final (T.rope_of_string doc1m) and f_flat = final (T.flat_of_string doc1m) in
+  let md5 st = Digest.to_hex (Digest.string (T.to_string st)) in
+  let doc_ok = T.equal_state f_rope f_flat && String.equal (md5 f_rope) (md5 f_flat) in
+  Format.printf "@.equivalence: rope md5 %s, flat md5 %s (%s)@." (md5 f_rope) (md5 f_flat)
+    (if doc_ok then "identical" else "DIFFER — ROPE CHANGED THE DOCUMENT");
+  (* workspace-level digests under either representation switch setting *)
+  let _, doc100k, ops100k, _, _ = List.find (fun r -> chars_of r = 100_000) rows in
+  let session = List.filteri (fun i _ -> i < 2_000) ops100k in
+  let ws_digest rope =
+    let saved = T.rope_enabled () in
+    Fun.protect ~finally:(fun () -> T.set_rope saved) @@ fun () ->
+    T.set_rope rope;
+    let ws = Sm_mergeable.Workspace.create () in
+    Sm_mergeable.Mtext.init ws tk_doc doc100k;
+    List.iter
+      (function
+        | T.Ins (p, s) -> Sm_mergeable.Mtext.insert ws tk_doc p s
+        | T.Del (p, l) -> Sm_mergeable.Mtext.delete ws tk_doc ~pos:p ~len:l)
+      session;
+    Sm_mergeable.Workspace.digest ws
+  in
+  let d_rope = ws_digest true and d_flat = ws_digest false in
+  let digest_ok = String.equal d_rope d_flat in
+  Format.printf "workspace:   rope digest %s, flat digest %s (%s)@." d_rope d_flat
+    (if digest_ok then "identical" else "DIFFER — SM_ROPE CHANGED THE MERGE");
+  (* wire image of the session journal: packed (v3 frames) vs classic *)
+  let packed = String.length (C.encode Sm_dist.Codable.Text.journal_codec ops1m) in
+  let classic = String.length (C.encode (C.list Sm_dist.Codable.Text.op_codec) ops1m) in
+  record "journal/packed_kb" (float_of_int packed /. 1024.0);
+  record "journal/classic_kb" (float_of_int classic /. 1024.0);
+  Format.printf "@.journal wire bytes (%d ops): packed %d, classic %d (%.1f%% of classic)@." nops
+    packed classic
+    (100.0 *. float_of_int packed /. float_of_int classic);
+  let speedup = flat_ms /. rope_ms in
+  let speed_ok = speedup >= 10.0 in
+  let wire_ok = packed < classic in
+  let ok = speed_ok && doc_ok && digest_ok && wire_ok in
+  Format.printf
+    "@.gate: %s (1M/10k rope speedup %.1fx >= 10x: %s; documents identical: %s; digests equal: \
+     %s; packed < classic: %s)@."
+    (if ok then "ok" else "FAILED")
+    speedup
+    (if speed_ok then "ok" else "FAIL")
+    (if doc_ok then "ok" else "FAIL")
+    (if digest_ok then "ok" else "FAIL")
+    (if wire_ok then "ok" else "FAIL");
+  ok
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
@@ -1180,6 +1300,10 @@ let () =
     let ok = obs_bench () in
     finish "obs";
     if has "--gate" && not ok then exit 1
+  | _ :: "text" :: _ ->
+    let ok = text_bench () in
+    finish "text";
+    if has "--gate" && not ok then exit 1
   | _ :: "micro" :: _ -> micro ~quick:false (); finish "micro"
   | _ :: "fuzz" :: _ -> fuzz_bench (); finish "fuzz"
   | _ :: "all" :: _ | [ _ ] ->
@@ -1195,12 +1319,13 @@ let () =
     topology_bench ();
     semaphore_bench ();
     ignore (journal_bench ());
+    ignore (text_bench ());
     fuzz_bench ();
     micro ~quick:true ();
     Format.printf "@.done.  (fig3 --full reproduces the paper-scale sweep)@.";
     finish "all"
   | _ ->
     prerr_endline
-      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|spawn [--gate]|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|obs [--gate]|micro|fuzz|all]\n\
+      "usage: main.exe [fig1|fig2|fig3 [--full]|overhead|scale|copy|spawn [--gate]|dist|coop|topology|semaphore|journal [--gate]|service [--gate]|obs [--gate]|text [--gate]|micro|fuzz|all]\n\
        flags: --json (write BENCH_<name>.json)  --obs (enable+dump metrics)  --trace FILE (Chrome trace)";
     exit 2

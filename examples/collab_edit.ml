@@ -59,7 +59,7 @@ let edit_session () =
   let final =
     R.run (fun ctx ->
         let ws = R.workspace ctx in
-        Ws.init ws doc "The quick fox jumps over the dog.";
+        Mtext.init ws doc "The quick fox jumps over the dog.";
         (* three authors edit concurrently on their own copies *)
         ignore
           (R.spawn ctx (fun author ->

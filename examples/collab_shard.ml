@@ -80,7 +80,7 @@ let () =
   Client.flush bob;
   until (fun () -> Client.synced alice && Client.synced bob);
   Format.printf "@.after one concurrent round, alice sees:@.%s"
-    (Ws.read (Client.view alice) k_minutes);
+    (Sm_ot.Op_text.to_string (Ws.read (Client.view alice) k_minutes));
 
   (* Bob starts a batch, flushes it — and crashes before the ack arrives. *)
   Client.edit bob (fun ws -> Ws.update ws k_minutes (Sm_ot.Op_text.Ins (0, "MINUTES\n")));
@@ -90,7 +90,7 @@ let () =
 
   (* Alice keeps editing while bob is gone. *)
   Client.edit alice (fun ws ->
-      let len = String.length (Ws.read (Client.view alice) k_minutes) in
+      let len = Sm_ot.Op_text.length (Ws.read (Client.view alice) k_minutes) in
       Ws.update ws k_minutes (Sm_ot.Op_text.Ins (len, "- write the paper\n")));
   Client.flush alice;
   until (fun () -> Client.synced alice);
@@ -110,11 +110,11 @@ let () =
   Client.resume bob listener;
   until (fun () -> Client.synced alice && Client.synced bob);
   Format.printf "...and resumed.  both replicas now read:@.%s"
-    (Ws.read (Client.view bob) k_minutes);
+    (Sm_ot.Op_text.to_string (Ws.read (Client.view bob) k_minutes));
   assert (
     String.equal
-      (Ws.read (Client.view alice) k_minutes)
-      (Ws.read (Client.view bob) k_minutes));
+      (Sm_ot.Op_text.to_string (Ws.read (Client.view alice) k_minutes))
+      (Sm_ot.Op_text.to_string (Ws.read (Client.view bob) k_minutes)));
   Format.printf "@.shard digests: %s@." (String.concat " " (Service.digests svc));
   Format.printf "delta bytes shipped: %d (snapshots: %d)@."
     (Service.delta_bytes_sent svc) (Service.snapshot_bytes_sent svc);

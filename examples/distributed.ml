@@ -58,6 +58,7 @@ module Count_map = struct
       (C.list (C.pair C.string C.int))
 
   let op_codec = C.map (fun (Bump (w, n)) -> (w, n)) (fun (w, n) -> Bump (w, n)) (C.pair C.string C.int)
+  let journal_codec = C.list op_codec
 end
 
 let registry = Reg.create ()

@@ -145,11 +145,14 @@ module Text = struct
   let name = "mtext"
 
   let states ~depth =
+    (* Built through [of_string], so the enumerator exercises whichever
+       representation the SM_ROPE switch selects — the rope/flat battery
+       flips the switch and reruns the same state space. *)
     let all = [ ""; "a"; "ab"; "abcd"; "abcdef" ] in
-    List.filteri (fun i _ -> i < max 1 depth + 2) all
+    List.filteri (fun i _ -> i < max 1 depth + 2) (List.map Sm_ot.Op_text.of_string all)
 
   let ops state =
-    let n = String.length state in
+    let n = Sm_ot.Op_text.length state in
     List.concat
       [ List.concat_map (fun p -> [ ins p "X"; ins p "YY" ]) (List.init (n + 1) Fun.id)
       ; List.concat_map

@@ -168,7 +168,9 @@ type ctx =
   { cluster : cluster
   ; ws : Ws.t
   ; mutable children : rtask list (* creation order, retired included *)
-  ; buffered : Wire.up Queue.t (* events read from upstream, in arrival order *)
+  ; buffered : (Wire.journal_format * Wire.up) Queue.t
+    (* events read from upstream in arrival order, each tagged with the
+       journal format its frame version implied *)
   }
 
 let workspace ctx = ctx.ws
@@ -194,8 +196,8 @@ let spawn ctx ?node task ~argument =
   (* The spawn's trace context crosses the wire with the Spawn frame, so
      the node's Task_start lands on the same request tree as this Spawn
      event — [sm-trace requests] stitches them by these ids.  Minted only
-     when tracing: without it the frame stays version 1, byte-identical to
-     pre-context builds. *)
+     when tracing; either way the frame carries the current version, which
+     tells the node this coordinator speaks packed journals. *)
   let tctx =
     if Obs.on Obs.Info then Some (Obs.Trace_ctx.root (Wire.obs_task_name ~rank:node ~uid))
     else None
@@ -215,8 +217,14 @@ let spawn ctx ?node task ~argument =
     (Wire.Spawn { uid; task; argument; snapshot = Registry.encode_snapshot cluster.registry ctx.ws });
   child
 
+(* Decode an upstream frame, remembering which journal format its version
+   implied — a version-1/2 node ships classic journals and its messages
+   must be merged with the classic codec. *)
 let decode_up bytes =
-  match C.decode Wire.up_codec (Wire.open_control bytes) with
+  match
+    let fmt, payload = Wire.open_control_v bytes in
+    (fmt, C.decode Wire.up_codec payload)
+  with
   | up -> up
   | exception C.Decode_error msg -> raise (Remote_failure ("corrupt upstream message: " ^ msg))
   | exception Wire.Frame.Bad_frame msg -> raise (Remote_failure ("rejected frame: " ^ msg))
@@ -230,12 +238,12 @@ let decode_up bytes =
 let next_event_for ctx uid =
   let rec from_buffer pending =
     match Queue.take_opt ctx.buffered with
-    | Some ev when Wire.uid_of_up ev = uid ->
+    | Some (_, ev) as item when Wire.uid_of_up ev = uid ->
       Queue.transfer ctx.buffered pending;
       Queue.transfer pending ctx.buffered;
-      Some ev
-    | Some ev ->
-      Queue.add ev pending;
+      item
+    | Some item ->
+      Queue.add item pending;
       from_buffer pending
     | None ->
       Queue.transfer pending ctx.buffered;
@@ -248,12 +256,12 @@ let next_event_for ctx uid =
       match Sm_util.Bqueue.pop ctx.cluster.upstream with
       | None -> raise (Remote_failure "cluster shut down while merging")
       | Some bytes ->
-        let ev = decode_up bytes in
-        if Wire.uid_of_up ev = uid then ev
+        let (_, ev) as item = decode_up bytes in
+        if Wire.uid_of_up ev = uid then item
         else begin
           (* Out-of-order upstream event: journal the buffering so merge
              skew between ranks is visible (depth spikes = one slow rank). *)
-          Queue.add ev ctx.buffered;
+          Queue.add item ctx.buffered;
           Obs.Metrics.incr m_buffered;
           Obs.Metrics.observe h_buffer_depth (float_of_int (Queue.length ctx.buffered));
           Obs.note ~task:coord_task ~task_id:coord_tid "coord.buffer"
@@ -266,7 +274,7 @@ let next_event_for ctx uid =
 
 let next_event_any ctx =
   match Queue.take_opt ctx.buffered with
-  | Some ev -> ev
+  | Some item -> item
   | None -> (
     match Sm_util.Bqueue.pop ctx.cluster.upstream with
     | None -> raise (Remote_failure "cluster shut down while merging")
@@ -288,16 +296,16 @@ let default_validate _ = true
    acceptance adopts it.  The coordinator never materializes the child's
    workspace, so this is the remote analogue of validating the child's
    data. *)
-let try_merge ctx child journal ~validate =
+let try_merge ctx child ~format journal ~validate =
   let cluster = ctx.cluster in
   match
     if validate == default_validate then begin
-      Registry.merge_journal cluster.registry ~into:ctx.ws ~base:child.base journal;
+      Registry.merge_journal ~format cluster.registry ~into:ctx.ws ~base:child.base journal;
       true
     end
     else begin
       let trial = Ws.clone_full ctx.ws in
-      Registry.merge_journal cluster.registry ~into:trial ~base:child.base journal;
+      Registry.merge_journal ~format cluster.registry ~into:trial ~base:child.base journal;
       if validate trial then begin
         Ws.adopt ctx.ws ~from:trial;
         true
@@ -320,11 +328,11 @@ let obs_merge_child child ~journal ~outcome =
            ]
          E.Merge_child)
 
-let process ?(validate = default_validate) ctx child ev =
+let process ?(validate = default_validate) ctx child (format, ev) =
   let cluster = ctx.cluster in
   match ev with
   | Wire.Sync_request { journal; _ } ->
-    let granted = if child.aborted then false else try_merge ctx child journal ~validate in
+    let granted = if child.aborted then false else try_merge ctx child ~format journal ~validate in
     Obs.Metrics.incr m_remote_syncs;
     if not granted then Obs.Metrics.incr m_remote_refusals;
     obs_merge_child child ~journal ~outcome:(if granted then "merged" else "refused");
@@ -332,7 +340,7 @@ let process ?(validate = default_validate) ctx child ev =
     send_down cluster child.node
       (Wire.Reply { uid = child.uid; granted; snapshot = Registry.encode_snapshot cluster.registry ctx.ws })
   | Wire.Task_completed { journal; _ } ->
-    let merged = if child.aborted then false else try_merge ctx child journal ~validate in
+    let merged = if child.aborted then false else try_merge ctx child ~format journal ~validate in
     if not merged then Obs.Metrics.incr m_remote_refusals;
     obs_merge_child child ~journal ~outcome:(if merged then "merged" else "refused");
     child.cstate <- Retired_ok
@@ -348,9 +356,9 @@ let merge_all ?validate ctx =
 let merge_any ?validate ctx =
   if live ctx = [] then None
   else begin
-    let ev = next_event_any ctx in
+    let (_, ev) as item = next_event_any ctx in
     let child = find_child ctx (Wire.uid_of_up ev) in
-    process ?validate ctx child ev;
+    process ?validate ctx child item;
     Some child
   end
 

@@ -21,11 +21,15 @@ module Frame = struct
   (* Version 1: magic, u16 version, kind byte, u32 payload length, payload.
      Version 2 appends an optional trace context between header and
      payload: a u8 context length then that many context bytes (the
-     {!Sm_obs.Trace_ctx.codec} encoding).  [seal] without a context still
-     emits version 1 byte-for-byte — observability off leaves the wire
-     image exactly as it was, which is what the overhead gate measures —
-     and [open_] accepts both, so pre-context peers interoperate. *)
-  let version = 2
+     {!Sm_obs.Trace_ctx.codec} encoding).  Version 3 keeps the version-2
+     byte layout (the u8 context length is always present, 0 when there is
+     no context) and changes only what the version number *means*: a
+     version-3 peer packs text journals with the binary journal codec,
+     while versions 1..2 carry classic tagged op lists.  [seal] therefore
+     always stamps the current version — the frame version is the
+     journal-format negotiation — and [open_] accepts 1..3 so pre-packed
+     peers interoperate. *)
+  let version = 3
   let min_version = 1
 
   let kind_to_string = function Control -> "control" | Delta -> "delta" | Snapshot -> "snapshot"
@@ -41,33 +45,40 @@ module Frame = struct
 
   let ctx_bytes ctx = C.encode Sm_obs.Trace_ctx.codec ctx
 
-  let seal ?ctx kind payload =
+  (* [?version] exists for compatibility tests and simulated old peers; real
+     senders take the default.  A version-1 frame has no context slot, so
+     sealing one with [?ctx] is a caller error. *)
+  let seal ?version:(v = version) ?ctx kind payload =
+    if v < min_version || v > version then
+      invalid_arg (Printf.sprintf "Wire.Frame.seal: cannot emit version %d" v);
+    if v = 1 && ctx <> None then invalid_arg "Wire.Frame.seal: version-1 frames carry no context";
     let n = String.length payload in
     if n > 0xFFFF_FFFF then invalid_arg "Wire.Frame.seal: payload too large";
-    match ctx with
-    | None ->
+    if v = 1 then begin
       let b = Bytes.create (header_len + n) in
       Bytes.blit_string magic 0 b 0 2;
-      Bytes.set_uint16_be b 2 min_version;
+      Bytes.set_uint16_be b 2 1;
       Bytes.set_uint8 b 4 (kind_tag kind);
       Bytes.set_int32_be b 5 (Int32.of_int n);
       Bytes.blit_string payload 0 b header_len n;
       Bytes.unsafe_to_string b
-    | Some ctx ->
-      let cb = ctx_bytes ctx in
+    end
+    else begin
+      let cb = match ctx with None -> "" | Some ctx -> ctx_bytes ctx in
       let cn = String.length cb in
       if cn > 0xFF then invalid_arg "Wire.Frame.seal: context too large";
       let b = Bytes.create (header_len + 1 + cn + n) in
       Bytes.blit_string magic 0 b 0 2;
-      Bytes.set_uint16_be b 2 version;
+      Bytes.set_uint16_be b 2 v;
       Bytes.set_uint8 b 4 (kind_tag kind);
       Bytes.set_int32_be b 5 (Int32.of_int n);
       Bytes.set_uint8 b header_len cn;
       Bytes.blit_string cb 0 b (header_len + 1) cn;
       Bytes.blit_string payload 0 b (header_len + 1 + cn) n;
       Bytes.unsafe_to_string b
+    end
 
-  let open_rich frame =
+  let open_v frame =
     let len = String.length frame in
     if len < header_len then
       raise (Bad_frame (Printf.sprintf "short frame: %d bytes (< %d-byte header)" len header_len));
@@ -85,10 +96,11 @@ module Frame = struct
           (Bad_frame
              (Printf.sprintf "frame length mismatch: header says %d payload bytes, got %d" n
                 (len - header_len)));
-      (kind, None, String.sub frame header_len n)
+      (v, kind, None, String.sub frame header_len n)
     end
     else begin
-      if len < header_len + 1 then raise (Bad_frame "version-2 frame truncated before context");
+      if len < header_len + 1 then
+        raise (Bad_frame (Printf.sprintf "version-%d frame truncated before context" v));
       let cn = String.get_uint8 frame header_len in
       if len - header_len - 1 - cn <> n then
         raise
@@ -103,13 +115,27 @@ module Frame = struct
           | exception C.Decode_error msg ->
             raise (Bad_frame (Printf.sprintf "bad frame context: %s" msg))
       in
-      (kind, ctx, String.sub frame (header_len + 1 + cn) n)
+      (v, kind, ctx, String.sub frame (header_len + 1 + cn) n)
     end
+
+  let open_rich frame =
+    let _v, kind, ctx, payload = open_v frame in
+    (kind, ctx, payload)
 
   let open_ frame =
     let kind, _ctx, payload = open_rich frame in
     (kind, payload)
 end
+
+(* --- journal-format negotiation ---------------------------------------------- *)
+
+type journal_format =
+  | Classic  (** tagged op lists — what version-1/2 frames carry *)
+  | Packed  (** binary journals (varint-framed, delta positions) — version 3+ *)
+
+let journal_format_of_version v = if v >= 3 then Packed else Classic
+
+let journal_format_to_string = function Classic -> "classic" | Packed -> "packed"
 
 let seal_control ?ctx payload = Frame.seal ?ctx Frame.Control payload
 
@@ -128,6 +154,10 @@ let open_control frame =
 let open_control_rich frame =
   let kind, ctx, payload = Frame.open_rich frame in
   (ctx, control_payload kind payload)
+
+let open_control_v frame =
+  let v, kind, _ctx, payload = Frame.open_v frame in
+  (journal_format_of_version v, control_payload kind payload)
 
 type entries = (int * string) list
 

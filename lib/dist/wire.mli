@@ -30,30 +30,52 @@ module Frame : sig
 
   val version : int
   (** The newest frame version this build speaks (u16 on the wire).
-      Version 2 added the optional trace context. *)
+      Version 2 added the optional trace context; version 3 keeps the
+      version-2 byte layout and signals that journal payloads use the
+      packed binary codecs (see {!journal_format_of_version}). *)
 
   val min_version : int
-  (** The oldest version still accepted: pre-context (version 1) frames
+  (** The oldest version still accepted: version-1 and version-2 frames
       decode forever. *)
 
   val kind_to_string : kind -> string
 
-  val seal : ?ctx:Sm_obs.Trace_ctx.t -> kind -> string -> string
-  (** Prefix [payload] with the 9-byte header: magic ["SM"], u16 version,
-      kind byte, u32 payload length.  Without [?ctx] this emits a version-1
-      frame byte-identical to pre-context builds; with it, a version-2
-      frame carrying the context (u8 length + encoded context) between
-      header and payload. *)
+  val seal : ?version:int -> ?ctx:Sm_obs.Trace_ctx.t -> kind -> string -> string
+  (** Prefix [payload] with the header: magic ["SM"], u16 version, kind
+      byte, u32 payload length, then (version >= 2) a u8 context length and
+      the encoded context bytes — 0 and absent without [?ctx].  The default
+      [?version] is {!version}: new builds always stamp the current version
+      because the version number doubles as the journal-format negotiation.
+      Passing an explicit older [?version] emits that version's byte layout
+      — for compatibility tests and simulated old peers.
+      @raise Invalid_argument on a version outside the speakable range, or
+      on [~version:1] with a context (version 1 has no context slot). *)
 
   val open_ : string -> kind * string
-  (** Strip and validate the header, accepting versions 1 and 2 (any
-      context is dropped).
+  (** Strip and validate the header, accepting versions 1 through
+      {!version} (any context is dropped).
       @raise Bad_frame as described above.
       @raise Unsupported_version on a version outside the accepted range. *)
 
   val open_rich : string -> kind * Sm_obs.Trace_ctx.t option * string
   (** {!open_}, but surface the trace context when the frame carries one. *)
+
+  val open_v : string -> int * kind * Sm_obs.Trace_ctx.t option * string
+  (** {!open_rich}, but also surface the frame version — the receiver needs
+      it to pick the journal decoder. *)
 end
+
+type journal_format =
+  | Classic  (** tagged op lists — what version-1/2 frames carry *)
+  | Packed  (** binary journals (varint-framed, delta positions) — version 3+ *)
+
+val journal_format_of_version : int -> journal_format
+(** The journal encoding implied by a frame version: [Packed] for 3+,
+    [Classic] below.  Decoders pick the codec from the {e sender's} frame
+    version; encoders always speak [Packed] (they seal current-version
+    frames). *)
+
+val journal_format_to_string : journal_format -> string
 
 val seal_control : ?ctx:Sm_obs.Trace_ctx.t -> string -> string
 (** [Frame.seal Control] — the coordinator/node link carries only control
@@ -66,6 +88,10 @@ val open_control : string -> string
 
 val open_control_rich : string -> Sm_obs.Trace_ctx.t option * string
 (** {!open_control}, surfacing the trace context. *)
+
+val open_control_v : string -> journal_format * string
+(** {!open_control}, surfacing the sender's journal format — what the
+    coordinator uses to decode journals from mixed-version nodes. *)
 
 type entries = (int * string) list
 

@@ -76,7 +76,7 @@ end
 let init (k : Keyset.t) ws =
   Ws.init ws k.counter 0;
   Ws.init ws k.register "r0";
-  Ws.init ws k.text "";
+  Ws.init ws k.text (Sm_ot.Op_text.of_string "");
   Ws.init ws k.list [];
   Ws.init ws k.set Iset.Op.Elt_set.empty;
   Ws.init ws k.map Imap.Op.Key_map.empty;

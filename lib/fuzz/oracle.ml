@@ -10,7 +10,16 @@ type failure =
 let pp_failure ppf { oracle; detail } = Format.fprintf ppf "[%s] %s" oracle detail
 
 let oracle_names =
-  [ "crash"; "differential"; "determinism"; "compaction"; "cow"; "detsan"; "trace"; "replay" ]
+  [ "crash"
+  ; "differential"
+  ; "determinism"
+  ; "compaction"
+  ; "cow"
+  ; "rope"
+  ; "detsan"
+  ; "trace"
+  ; "replay"
+  ]
 
 type env =
   { exec2 : Sm_core.Executor.t
@@ -111,6 +120,28 @@ let cow_oracle keys prog baseline =
       (short baseline)
   else Ok ()
 
+(* Differential over the text representation: the chunked rope (default)
+   and the flat-string baseline must be observationally identical — digests
+   render states through the same escaped form, so a mismatch is a rope
+   apply/transform/print divergence.  Same flag flip-and-restore shape as
+   [cow_oracle]. *)
+let rope_oracle keys prog baseline =
+  let was = Sm_ot.Op_text.rope_enabled () in
+  let d =
+    Fun.protect
+      ~finally:(fun () -> Sm_ot.Op_text.set_rope was)
+      (fun () ->
+        Sm_ot.Op_text.set_rope (not was);
+        coop_digest keys prog)
+  in
+  if d <> baseline then
+    fail "rope" "rope-%s digest %s <> rope-%s %s"
+      (if was then "off" else "on")
+      (short d)
+      (if was then "on" else "off")
+      (short baseline)
+  else Ok ()
+
 let detsan_oracle env keys prog =
   if Program.uses_any_merge prog then Ok ()
   else begin
@@ -171,6 +202,7 @@ let check ?focus ?(runs = 3) ?mutate env prog =
     ; ("determinism", fun () -> determinism_oracle env keys prog base ~runs)
     ; ("compaction", fun () -> compaction_oracle keys prog base)
     ; ("cow", fun () -> cow_oracle keys prog base)
+    ; ("rope", fun () -> rope_oracle keys prog base)
     ; ("detsan", fun () -> detsan_oracle env keys prog)
     ; ("trace", fun () -> trace_oracle keys prog)
     ; ("replay", fun () -> replay_oracle env keys prog)

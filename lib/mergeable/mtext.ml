@@ -4,11 +4,13 @@ module Data = struct
   let type_name = "text"
 end
 
-type handle = (string, Sm_ot.Op_text.op) Workspace.key
+type handle = (Sm_ot.Op_text.state, Sm_ot.Op_text.op) Workspace.key
 
 let key ~name = Workspace.create_key (module Data) ~name
-let get = Workspace.read
-let length ws h = String.length (get ws h)
+let init ws h s = Workspace.init ws h (Sm_ot.Op_text.of_string s)
+let state = Workspace.read
+let get ws h = Sm_ot.Op_text.to_string (Workspace.read ws h)
+let length ws h = Sm_ot.Op_text.length (Workspace.read ws h)
 
 let insert ws h pos s =
   if String.length s > 0 then Workspace.update ws h (Sm_ot.Op_text.ins pos s)

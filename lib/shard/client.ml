@@ -46,8 +46,8 @@ type t =
   }
 
 (* Request contexts are minted only when tracing is on: off, requests carry
-   no context and frames stay version 1 — the wire image of a silent run is
-   byte-identical to a pre-observability build. *)
+   no context (the frame's context slot is empty).  Either way frames are
+   sealed at the current version, advertising packed journals. *)
 let mint t label =
   if Obs.on Obs.Info then
     Some
@@ -155,9 +155,9 @@ let edit t f =
 
 (* --- payload application ---------------------------------------------------- *)
 
-let apply_payload t = function
+let apply_payload t fmt = function
   | Proto.Delta entries ->
-    Registry.apply_delta t.reg ~into:t.shadow ~cursor:(cursor_of t) entries;
+    Registry.apply_delta ~format:fmt t.reg ~into:t.shadow ~cursor:(cursor_of t) entries;
     List.iter
       (fun (id, _, to_rev, _) ->
         if to_rev > cursor_of t id then Hashtbl.replace t.cursors id to_rev)
@@ -174,12 +174,12 @@ let after_ack t =
   reset_bases t
 
 let handle_frame t frame =
-  match Proto.open_s2c frame with
-  | Proto.Welcome { session; payload } -> (
+  match Proto.open_s2c_v frame with
+  | fmt, Proto.Welcome { session; payload } -> (
     match t.outstanding with
     | Some (Connect _) ->
       if t.session = None then t.session <- Some session;
-      apply_payload t payload;
+      apply_payload t fmt payload;
       (* With local operations (flushed or not) in play, the view keeps them
          and the next ack re-clones it; with nothing pending no ack will
          ever follow, so the epochs this welcome carried must reach the view
@@ -189,17 +189,17 @@ let handle_frame t frame =
       t.outstanding <- None;
       t.ticks_waiting <- 0
     | _ -> () (* duplicate of an applied welcome *))
-  | Proto.Ack { req; payload; _ } -> (
+  | fmt, Proto.Ack { req; payload; _ } -> (
     match t.outstanding with
     | Some (Editing { req = r; _ }) when req = r ->
-      apply_payload t payload;
+      apply_payload t fmt payload;
       t.last_acked_req <- req;
       outstanding_finished t ~status:"ok";
       t.outstanding <- None;
       t.ticks_waiting <- 0;
       after_ack t
     | _ -> () (* replayed ack for an already-acked request *))
-  | Proto.Nack { reason; _ } ->
+  | _, Proto.Nack { reason; _ } ->
     outstanding_finished t ~status:"nack";
     t.failed <- Some reason
   | exception (Sm_dist.Wire.Frame.Bad_frame msg | Sm_util.Codec.Decode_error msg) ->

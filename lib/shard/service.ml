@@ -11,7 +11,7 @@ type spec =
   ]
 
 type kind =
-  | Text_doc of (string, Sm_ot.Op_text.op) Registry.rkey * string
+  | Text_doc of (Sm_ot.Op_text.state, Sm_ot.Op_text.op) Registry.rkey * string
   | Tree_doc of (Tree.Op.state, Tree.Op.op) Registry.rkey * Tree.Op.state
 
 type doc =
@@ -66,7 +66,8 @@ let tree_key doc =
 
 let init_doc ws doc =
   match doc.kind with
-  | Text_doc (rk, initial) -> Ws.init ws (Registry.workspace_key rk) initial
+  | Text_doc (rk, initial) ->
+    Ws.init ws (Registry.workspace_key rk) (Sm_ot.Op_text.of_string initial)
   | Tree_doc (rk, initial) -> Ws.init ws (Registry.workspace_key rk) initial
 
 type t =
@@ -140,8 +141,7 @@ let edit_doc ~rng ~ins_bias doc ws =
   match doc.kind with
   | Text_doc (rk, _) ->
     let k = Registry.workspace_key rk in
-    let s = Ws.read ws k in
-    let len = String.length s in
+    let len = Sm_ot.Op_text.length (Ws.read ws k) in
     if len = 0 || Rng.float rng < ins_bias then
       Ws.update ws k (Sm_ot.Op_text.Ins (Rng.int rng ~bound:(len + 1), random_string rng))
     else begin

@@ -31,7 +31,7 @@ val doc_name : doc -> string
 val find_doc : docs -> string -> doc
 (** @raise Invalid_argument for unknown names. *)
 
-val text_key : doc -> (string, Sm_ot.Op_text.op) Sm_mergeable.Workspace.key
+val text_key : doc -> (Sm_ot.Op_text.state, Sm_ot.Op_text.op) Sm_mergeable.Workspace.key
 (** The workspace key of a text document — read a replica's content with
     {!Sm_mergeable.Workspace.read}.
     @raise Invalid_argument for tree documents. *)

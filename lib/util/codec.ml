@@ -87,6 +87,24 @@ let string =
 
 let unit = { write = (fun _ () -> ()); read = (fun _ -> ()) }
 
+(* Plain LEB128 without the zig-zag: for values that are non-negative by
+   construction (counts, lengths, packed op headers) it saves the doubling
+   bit and keeps golden byte vectors easy to read. *)
+let uvarint =
+  { write =
+      (fun buf v ->
+        if v < 0 then invalid_arg "Codec.uvarint: negative value";
+        write_uvarint buf (Int64.of_int v))
+  ; read =
+      (fun r ->
+        let v = read_uvarint r in
+        if Int64.of_int (Int64.to_int v) <> v || Int64.compare v 0L < 0 then
+          fail "uvarint overflow";
+        Int64.to_int v)
+  }
+
+let custom ~write ~read = { write; read }
+
 let list elt =
   { write =
       (fun buf xs ->

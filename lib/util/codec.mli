@@ -34,6 +34,11 @@ val string : string t
 
 val unit : unit t
 
+val uvarint : int t
+(** Plain LEB128 varint (no zig-zag) for non-negative values — counts and
+    packed headers.  Writing a negative value raises [Invalid_argument];
+    reading a value that overflows [int] raises {!Decode_error}. *)
+
 (** {1 Combinators} *)
 
 val list : 'a t -> 'a list t
@@ -54,6 +59,12 @@ val map : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
 type writer = Buffer.t
 
 type reader
+
+val custom : write:(writer -> 'a -> unit) -> read:(reader -> 'a) -> 'a t
+(** Escape hatch for hand-rolled formats (e.g. delta-encoded op journals):
+    [write]/[read] compose with {!W} and {!R} like a {!tagged} payload.
+    [read] must consume exactly the bytes [write] produced and raise
+    {!Decode_error} on malformed input. *)
 
 val tagged :
   tag:('a -> int) -> write:(writer -> 'a -> unit) -> read:(int -> reader -> 'a) -> 'a t

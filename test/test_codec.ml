@@ -110,6 +110,71 @@ let codable_roundtrips () =
     (roundtrip (C.list Sm_dist.Codable.Text.op_codec)
        [ Sm_ot.Op_text.ins 0 "ab"; Sm_ot.Op_text.del ~pos:1 ~len:2 ])
 
+(* The packed text-journal codec: delta-encoded positions under a zigzag
+   uvarint, negotiated by the frame version.  Golden vectors pin the exact
+   bytes so the format can never drift silently — v3 frames must decode
+   forever, like v1/v2 before them. *)
+let packed_golden_vectors () =
+  let j = Sm_dist.Codable.Text.journal_codec in
+  let pin name bytes ops =
+    Alcotest.(check string) name bytes (C.encode j ops);
+    check_bool (name ^ " decodes") (C.decode j bytes = ops)
+  in
+  pin "empty journal" "\x00" [];
+  pin "single ins at origin" "\x01\x00\x02ab" [ Sm_ot.Op_text.Ins (0, "ab") ];
+  pin "single del" "\x01\x0d\x02" [ Sm_ot.Op_text.Del (3, 2) ];
+  pin "ins then backward del (negative delta)" "\x02\x14\x01x\x03\x02"
+    [ Sm_ot.Op_text.Ins (5, "x"); Sm_ot.Op_text.Del (4, 2) ];
+  (* uvarint spill on the header once positions pass 63 *)
+  let enc = C.encode j [ Sm_ot.Op_text.Ins (64, "z") ] in
+  Alcotest.(check string) "multi-byte header" "\x01\x80\x02\x01z" enc
+
+let packed_rejects_malformed () =
+  let j = Sm_dist.Codable.Text.journal_codec in
+  let rejects name s =
+    check_bool name (match C.decode j s with _ -> false | exception C.Decode_error _ -> true)
+  in
+  rejects "truncated op count" "\x02\x00\x02ab";
+  rejects "truncated ins payload" "\x01\x00\x05ab";
+  rejects "truncated header varint" "\x01\x80";
+  rejects "negative position" "\x01\x02\x01x";
+  rejects "zero-length delete" "\x01\x0d\x00";
+  rejects "trailing garbage" "\x00\x00"
+
+(* 500 random sequential journals survive the packed codec byte-for-byte,
+   and classic-coded journals keep decoding (the v1/v2 compatibility pin:
+   old frames negotiate [Classic], which is [C.list op_codec]). *)
+let packed_random_roundtrip () =
+  let module T = Sm_ot.Op_text in
+  let module Rng = Sm_util.Det_rng in
+  let j = Sm_dist.Codable.Text.journal_codec in
+  let classic = C.list Sm_dist.Codable.Text.op_codec in
+  let rng = Rng.create ~seed:0xC0DECL in
+  for _ = 1 to 500 do
+    let len = ref (Rng.int rng ~bound:200) in
+    let nops = Rng.int rng ~bound:12 in
+    let ops =
+      List.init nops (fun _ ->
+          if !len = 0 || Rng.bool rng then begin
+            let pos = Rng.int rng ~bound:(!len + 1) in
+            let s = Rng.bytes rng ~len:(1 + Rng.int rng ~bound:8) in
+            len := !len + String.length s;
+            T.Ins (pos, s)
+          end
+          else begin
+            let pos = Rng.int rng ~bound:!len in
+            let l = 1 + Rng.int rng ~bound:(!len - pos) in
+            len := !len - l;
+            T.Del (pos, l)
+          end)
+    in
+    check_bool "packed roundtrip" (roundtrip j ops);
+    check_bool "classic still decodes" (roundtrip classic ops);
+    (* packed never loses to classic on sequential journals *)
+    check_bool "packed no larger than classic + slack"
+      (String.length (C.encode j ops) <= String.length (C.encode classic ops) + 1)
+  done
+
 let suite =
   [ Alcotest.test_case "pinned encodings" `Quick pinned_encodings
   ; Alcotest.test_case "malformed inputs rejected" `Quick malformed_inputs
@@ -121,4 +186,7 @@ let suite =
   ; composite_roundtrip
   ; Alcotest.test_case "wire message roundtrips" `Quick wire_roundtrip
   ; Alcotest.test_case "codable data roundtrips" `Quick codable_roundtrips
+  ; Alcotest.test_case "packed text journal: golden vectors" `Quick packed_golden_vectors
+  ; Alcotest.test_case "packed text journal: malformed rejected" `Quick packed_rejects_malformed
+  ; Alcotest.test_case "packed text journal: 500 random roundtrips" `Quick packed_random_roundtrip
   ]

@@ -258,29 +258,56 @@ let cluster_reuse () =
 module Frame = Sm_dist.Wire.Frame
 
 let frame_v1_compat () =
-  (* A ctx-less seal must emit the version-1 layout byte-identically to
-     pre-context builds: magic "SM", u16 ver, kind byte, u32 len. *)
+  (* New builds always stamp the current version — the frame version is the
+     journal-format negotiation, so a ctx-less seal is a version-3 frame
+     with a zero-length context slot. *)
   let sealed = Frame.seal Frame.Delta "payload" in
-  Alcotest.(check int) "v1 header is 9 bytes" (9 + String.length "payload")
+  Alcotest.(check int) "v3 ctx-less header is 10 bytes" (10 + String.length "payload")
     (String.length sealed);
   Alcotest.(check string) "magic" "SM" (String.sub sealed 0 2);
-  Alcotest.(check int) "ctx-less frames stay version 1" 1 (Char.code sealed.[3]);
+  Alcotest.(check int) "default seal stamps the current version" Frame.version
+    (Char.code sealed.[3]);
   let kind, payload = Frame.open_ sealed in
   check_bool "kind survives" (kind = Frame.Delta);
   Alcotest.(check string) "payload survives" "payload" payload;
-  let kind, ctx, payload = Frame.open_rich sealed in
-  check_bool "rich open agrees" (kind = Frame.Delta && payload = "payload");
-  check_bool "v1 frames carry no context" (ctx = None);
-  (* A context bumps the frame to version 2, and v1-only semantics — plain
-     [open_] — still accept it, dropping the context. *)
+  let v, kind, ctx, payload = Frame.open_v sealed in
+  check_bool "open_v agrees" (v = Frame.version && kind = Frame.Delta && payload = "payload");
+  check_bool "ctx-less frames carry no context" (ctx = None);
+  check_bool "current version implies packed journals"
+    (Sm_dist.Wire.journal_format_of_version v = Sm_dist.Wire.Packed);
+  (* Version-1 frames — what pre-context builds emitted — must decode
+     forever, and classify as classic-journal speakers. *)
+  let sealed1 = Frame.seal ~version:1 Frame.Delta "payload" in
+  Alcotest.(check int) "v1 header is 9 bytes" (9 + String.length "payload")
+    (String.length sealed1);
+  Alcotest.(check int) "explicit v1 layout" 1 (Char.code sealed1.[3]);
+  let v1, kind1, ctx1, payload1 = Frame.open_v sealed1 in
+  check_bool "v1 decodes forever" (v1 = 1 && kind1 = Frame.Delta && payload1 = "payload");
+  check_bool "v1 frames carry no context" (ctx1 = None);
+  check_bool "v1 implies classic journals"
+    (Sm_dist.Wire.journal_format_of_version v1 = Sm_dist.Wire.Classic);
+  check_bool "v1 cannot carry a context"
+    (match Frame.seal ~version:1 ~ctx:(Sm_obs.Trace_ctx.root "r") Frame.Control "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Version-2 frames (trace context, classic journals) also decode forever. *)
   let c = Sm_obs.Trace_ctx.child (Sm_obs.Trace_ctx.root "req") "hop" in
-  let sealed2 = Frame.seal ~ctx:c Frame.Control "p2" in
-  Alcotest.(check int) "ctx frames are version 2" 2 (Char.code sealed2.[3]);
+  let sealed2 = Frame.seal ~version:2 ~ctx:c Frame.Control "p2" in
+  Alcotest.(check int) "explicit v2 layout" 2 (Char.code sealed2.[3]);
   let kind2, payload2 = Frame.open_ sealed2 in
   check_bool "plain open drops the context" (kind2 = Frame.Control && payload2 = "p2");
-  match Frame.open_rich sealed2 with
-  | _, Some c', p when p = "p2" -> check_bool "context round-trips" (Sm_obs.Trace_ctx.equal c c')
-  | _ -> Alcotest.fail "rich open must surface the context"
+  (match Frame.open_v sealed2 with
+  | 2, _, Some c', p when p = "p2" -> check_bool "context round-trips" (Sm_obs.Trace_ctx.equal c c')
+  | _ -> Alcotest.fail "rich open must surface the v2 context");
+  check_bool "v2 implies classic journals"
+    (Sm_dist.Wire.journal_format_of_version 2 = Sm_dist.Wire.Classic);
+  (* A context on a default seal rides the same version-3 frame. *)
+  let sealed3 = Frame.seal ~ctx:c Frame.Control "p3" in
+  Alcotest.(check int) "ctx seal is still current version" Frame.version
+    (Char.code sealed3.[3]);
+  match Frame.open_rich sealed3 with
+  | _, Some c', p when p = "p3" -> check_bool "v3 context round-trips" (Sm_obs.Trace_ctx.equal c c')
+  | _ -> Alcotest.fail "rich open must surface the v3 context"
 
 let frame_unknown_version_rejected () =
   let sealed = Bytes.of_string (Frame.seal Frame.Control "x") in
@@ -325,6 +352,42 @@ let frame_roundtrip_property () =
     | _ -> Alcotest.fail "context presence must round-trip"
   done
 
+(* A journal encoded classic (tagged op list, what v1/v2 frames imply) and
+   one encoded packed (v3) carry different bytes but must merge to the same
+   document and digest — the registry speaks both formats forever. *)
+let journal_format_compat () =
+  let reg = Reg.create () in
+  let kt = Reg.value reg ~name:"doc" (module Sm_dist.Codable.Text) in
+  let k = Reg.workspace_key kt in
+  let parent = Ws.create () in
+  Ws.init parent k (Sm_ot.Op_text.of_string "the quick brown fox");
+  let base = Ws.snapshot parent in
+  let child = Reg.build_workspace reg (Reg.encode_snapshot reg parent) in
+  List.iter (Ws.update child k)
+    [ Sm_ot.Op_text.ins 4 "very "; Sm_ot.Op_text.del ~pos:0 ~len:4; Sm_ot.Op_text.ins 0 "A " ];
+  let packed = Reg.encode_journal reg child in
+  let classic = Reg.encode_journal ~format:Sm_dist.Wire.Classic reg child in
+  check_bool "wire images differ" (packed <> classic);
+  check_bool "packed is denser"
+    (List.fold_left (fun n (_, s) -> n + String.length s) 0 packed
+    < List.fold_left (fun n (_, s) -> n + String.length s) 0 classic);
+  let merged fmt entries =
+    let ws = Reg.build_workspace reg (Reg.encode_snapshot reg parent) in
+    Reg.merge_journal ~format:fmt reg ~into:ws ~base entries;
+    (Sm_ot.Op_text.to_string (Ws.read ws k), Ws.digest ws)
+  in
+  let doc_p, dig_p = merged Sm_dist.Wire.Packed packed in
+  let doc_c, dig_c = merged Sm_dist.Wire.Classic classic in
+  Alcotest.(check string) "documents agree" doc_p doc_c;
+  Alcotest.(check string) "digests agree" dig_p dig_c;
+  Alcotest.(check string) "expected document" "A very quick brown fox" doc_p;
+  (* feeding packed bytes to the classic decoder must fail loudly, not
+     silently misparse *)
+  check_bool "formats are not interchangeable"
+    (match merged Sm_dist.Wire.Classic packed with
+    | _ -> false
+    | exception Sm_util.Codec.Decode_error _ -> true)
+
 let suite =
   [ Alcotest.test_case "remote counters sum" `Quick remote_counters
   ; Alcotest.test_case "merge order deterministic across runs" `Quick creation_order_is_deterministic
@@ -338,7 +401,9 @@ let suite =
   ; Alcotest.test_case "validation over the wire" `Quick validation_over_the_wire
   ; Alcotest.test_case "refusal preserves sibling bases" `Quick validation_preserves_history
   ; Alcotest.test_case "cluster reused across runs" `Quick cluster_reuse
-  ; Alcotest.test_case "frame: v1 compat + v2 context" `Quick frame_v1_compat
+  ; Alcotest.test_case "frame: version negotiation + compat" `Quick frame_v1_compat
   ; Alcotest.test_case "frame: alien versions rejected" `Quick frame_unknown_version_rejected
   ; Alcotest.test_case "frame: seal/open round-trip property" `Quick frame_roundtrip_property
+  ; Alcotest.test_case "journal formats: classic and packed merge identically" `Quick
+      journal_format_compat
   ]

@@ -271,7 +271,7 @@ let mmap_helpers () =
 let mtext_helpers () =
   let k = Mtext.key ~name:"txt" in
   let ws = Ws.create () in
-  Ws.init ws k "hello";
+  Mtext.init ws k "hello";
   Mtext.append ws k " world";
   Mtext.insert ws k 0 ">> ";
   Mtext.delete ws k ~pos:0 ~len:3;

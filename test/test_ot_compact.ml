@@ -233,7 +233,7 @@ let workspace_compacts_child_journals () =
   let run ~compaction =
     with_compaction compaction @@ fun () ->
     let parent = Ws.create () in
-    Ws.init parent kt_metrics "";
+    Mtext.init parent kt_metrics "";
     let base = Ws.snapshot parent in
     let child = Ws.copy parent in
     for _ = 1 to 40 do
@@ -287,7 +287,7 @@ let random_ops rng w n =
 let stress_program ~seed ctx =
   let ws = Rt.workspace ctx in
   Ws.init ws kc 0;
-  Ws.init ws kt "";
+  Mtext.init ws kt "";
   Ws.init ws km Mmap.Op.Key_map.empty;
   Ws.init ws kr "-";
   let rng = Rng.create ~seed in

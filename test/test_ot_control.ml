@@ -44,12 +44,12 @@ module T = Sm_ot.Op_text
 module Ct = Sm_ot.Control.Make (T)
 
 let cross_with_splits () =
-  let base = "abcdef" in
+  let base = T.of_string "abcdef" in
   let left = [ T.del ~pos:1 ~len:4 ] (* delete "bcde" *) in
   let right = [ T.ins 3 "XY" ] (* insert inside the deleted range *) in
   let left', right' = Ct.cross ~incoming:left ~applied:right ~tie:Sm_ot.Side.serialization in
-  let via_right = Ct.apply_seq (Ct.apply_seq base right) left' in
-  let via_left = Ct.apply_seq (Ct.apply_seq base left) right' in
+  let via_right = T.to_string (Ct.apply_seq (Ct.apply_seq base right) left') in
+  let via_left = T.to_string (Ct.apply_seq (Ct.apply_seq base left) right') in
   Alcotest.(check string) "converged" via_right via_left;
   Alcotest.(check string) "expected" "aXYf" via_right;
   Alcotest.(check int) "left split into two deletes" 2 (List.length left')
@@ -126,10 +126,11 @@ let transform_op_vs_sequence () =
   in
   (* base "abcdef": delete all 6; concurrent: insert XY at 2, then delete "a".
      surviving deletions must remove exactly the original characters *)
-  let base = "abcdef" in
+  let base = T.of_string "abcdef" in
   let after_concurrent = Ct.apply_seq base [ T.ins 2 "XY"; T.del ~pos:0 ~len:1 ] in
-  Alcotest.(check string) "concurrent state" "bXYcdef" after_concurrent;
-  Alcotest.(check string) "intention preserved" "XY" (Ct.apply_seq after_concurrent ops)
+  Alcotest.(check string) "concurrent state" "bXYcdef" (T.to_string after_concurrent);
+  Alcotest.(check string) "intention preserved" "XY"
+    (T.to_string (Ct.apply_seq after_concurrent ops))
 
 let suite =
   [ Alcotest.test_case "paper's h(a) = f(a) || g(a)" `Quick paper_h_example

@@ -1,25 +1,64 @@
 (* Text OT: pinned range-transform cases (including the one-to-many split)
-   plus randomized TP1 / sequence convergence. *)
+   plus randomized TP1 / sequence convergence.  States go through
+   [T.of_string], so the whole suite runs against whichever representation
+   the SM_ROPE switch selects; the error-message parity case pins both
+   representations explicitly. *)
 
 open Test_support
 module T = Sm_ot.Op_text
 module Conv = Sm_ot.Convergence.Make (T)
 
 let ops = Alcotest.(list (testable T.pp_op ( = )))
+let apply_s s op = T.to_string (T.apply (T.of_string s) op)
 
 let apply_cases () =
-  Alcotest.(check string) "ins" "heXYllo" (T.apply "hello" (T.ins 2 "XY"));
-  Alcotest.(check string) "ins front" "XYhello" (T.apply "hello" (T.ins 0 "XY"));
-  Alcotest.(check string) "ins back" "helloXY" (T.apply "hello" (T.ins 5 "XY"));
-  Alcotest.(check string) "del" "heo" (T.apply "hello" (T.del ~pos:2 ~len:2));
+  Alcotest.(check string) "ins" "heXYllo" (apply_s "hello" (T.ins 2 "XY"));
+  Alcotest.(check string) "ins front" "XYhello" (apply_s "hello" (T.ins 0 "XY"));
+  Alcotest.(check string) "ins back" "helloXY" (apply_s "hello" (T.ins 5 "XY"));
+  Alcotest.(check string) "del" "heo" (apply_s "hello" (T.del ~pos:2 ~len:2));
   Alcotest.check_raises "ins out of range"
     (Invalid_argument "Op_text.apply: ins position 6 out of range (len 5)") (fun () ->
-      ignore (T.apply "hello" (T.ins 6 "x")));
+      ignore (apply_s "hello" (T.ins 6 "x")));
   Alcotest.check_raises "del out of range"
     (Invalid_argument "Op_text.apply: del range [4,6) out of range (len 5)") (fun () ->
-      ignore (T.apply "hello" (T.Del (4, 2))));
+      ignore (apply_s "hello" (T.Del (4, 2))));
   Alcotest.check_raises "del constructor rejects zero length"
     (Invalid_argument "Op_text.del: len must be positive") (fun () -> ignore (T.del ~pos:0 ~len:0))
+
+(* Invalid operations must fail with byte-identical messages whether the
+   document is flat or a rope — error text is observable behaviour, and the
+   differential battery compares it. *)
+let error_message_parity () =
+  let msg st f =
+    match f st with
+    | () -> "no exception"
+    | exception Invalid_argument m -> m
+  in
+  let probes =
+    [ ("ins position oob", fun st -> ignore (T.apply st (T.ins 6 "x")))
+    ; ("ins position far oob", fun st -> ignore (T.apply st (T.ins 1000 "x")))
+    ; ("ins negative position", fun st -> ignore (T.apply st (T.Ins (-1, "x"))))
+    ; ("del range oob", fun st -> ignore (T.apply st (T.Del (4, 2))))
+    ; ("del wholly oob", fun st -> ignore (T.apply st (T.Del (9, 3))))
+    ; ("del zero length", fun st -> ignore (T.apply st (T.Del (2, 0))))
+    ; ("del negative length", fun st -> ignore (T.apply st (T.Del (2, -1))))
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check string) name
+        (msg (T.flat_of_string "hello") f)
+        (msg (T.rope_of_string "hello") f))
+    probes;
+  (* and on a document long enough that the rope actually has chunks *)
+  let long = String.concat "" (List.init 500 (fun i -> Printf.sprintf "line %04d\n" i)) in
+  let oob = String.length long + 7 in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check string) name (msg (T.flat_of_string long) f) (msg (T.rope_of_string long) f))
+    [ ("long ins oob", fun st -> ignore (T.apply st (T.Ins (oob, "x"))))
+    ; ("long del oob", fun st -> ignore (T.apply st (T.Del (oob - 3, 5))))
+    ]
 
 let transform_cases () =
   let t ?(tie = Sm_ot.Side.uniform Sm_ot.Side.Incoming) a b = T.transform a ~against:b ~tie in
@@ -48,20 +87,19 @@ let transform_cases () =
 
 (* The paper's Figure 1/2 scenario transliterated to text. *)
 let fig2_text () =
-  let base = "abc" in
+  let base = T.of_string "abc" in
   let op_a = T.del ~pos:2 ~len:1 and op_b = T.ins 0 "d" in
   let a' = T.transform op_a ~against:op_b ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Applied) in
-  let site_b = List.fold_left T.apply (T.apply base op_b) a' in
+  let site_b = T.to_string (List.fold_left T.apply (T.apply base op_b) a') in
   let b' = T.transform op_b ~against:op_a ~tie:(Sm_ot.Side.uniform Sm_ot.Side.Incoming) in
-  let site_a = List.fold_left T.apply (T.apply base op_a) b' in
+  let site_a = T.to_string (List.fold_left T.apply (T.apply base op_a) b') in
   Alcotest.(check string) "converged" site_a site_b;
   Alcotest.(check string) "expected" "dab" site_a
 
-let gen_state = QCheck2.Gen.(map (fun n -> String.init n (fun i -> Char.chr (97 + (i mod 26)))) (int_range 0 12))
+let gen_str = QCheck2.Gen.(map (fun n -> String.init n (fun i -> Char.chr (97 + (i mod 26)))) (int_range 0 12))
 
-let gen_op_for s =
+let gen_op_for_len n =
   let open QCheck2.Gen in
-  let n = String.length s in
   let gen_ins = map2 (fun p t -> T.ins (min p n) (String.make (1 + (t mod 3)) 'X')) (int_range 0 n) (int_range 0 2) in
   if n = 0 then gen_ins
   else
@@ -74,29 +112,30 @@ let gen_op_for s =
 
 let gen_pair =
   let open QCheck2.Gen in
-  gen_state >>= fun s ->
-  gen_op_for s >>= fun a ->
-  gen_op_for s >>= fun b ->
-  bool >>= fun a_wins -> return (s, a, b, a_wins)
+  gen_str >>= fun s ->
+  gen_op_for_len (String.length s) >>= fun a ->
+  gen_op_for_len (String.length s) >>= fun b ->
+  bool >>= fun a_wins -> return (T.of_string s, a, b, a_wins)
 
 let gen_seq_for s =
   let open QCheck2.Gen in
   int_range 0 5 >>= fun n ->
-  let rec go s acc n =
+  let rec go st acc n =
     if n = 0 then return (List.rev acc)
-    else gen_op_for s >>= fun op -> go (T.apply s op) (op :: acc) (n - 1)
+    else gen_op_for_len (T.length st) >>= fun op -> go (T.apply st op) (op :: acc) (n - 1)
   in
-  go s [] n
+  go (T.of_string s) [] n
 
 let gen_two_seqs =
   let open QCheck2.Gen in
-  gen_state >>= fun s ->
+  gen_str >>= fun s ->
   gen_seq_for s >>= fun left ->
   gen_seq_for s >>= fun right ->
-  oneofl [ Sm_ot.Side.uniform Sm_ot.Side.Incoming; Sm_ot.Side.uniform Sm_ot.Side.Applied; Sm_ot.Side.serialization; Sm_ot.Side.flip Sm_ot.Side.serialization ] >>= fun tie -> return (s, left, right, tie)
+  oneofl [ Sm_ot.Side.uniform Sm_ot.Side.Incoming; Sm_ot.Side.uniform Sm_ot.Side.Applied; Sm_ot.Side.serialization; Sm_ot.Side.flip Sm_ot.Side.serialization ] >>= fun tie -> return (T.of_string s, left, right, tie)
 
 let suite =
   [ Alcotest.test_case "apply: substring edits" `Quick apply_cases
+  ; Alcotest.test_case "error messages agree across representations" `Quick error_message_parity
   ; Alcotest.test_case "IT cases incl. range split" `Quick transform_cases
   ; Alcotest.test_case "figure 2 on text" `Quick fig2_text
   ; qtest ~count:2000 "TP1 on random text ops" gen_pair (fun (s, a, b, a_wins) ->

@@ -151,7 +151,7 @@ let make_nine () =
   let ws = Ws.create () in
   Ws.init ws nk_counter 7;
   Ws.init ws nk_reg "init";
-  Ws.init ws nk_text "the quick brown fox";
+  Mtext.init ws nk_text "the quick brown fox";
   Ws.init ws nk_list [ 1; 2; 3 ];
   Ws.init ws nk_queue [ 10; 11 ];
   Ws.init ws nk_stack [ 20; 21 ];
@@ -191,7 +191,7 @@ let spawn_zero_copy () =
   if Ws.cow_enabled () then begin
     check_int "spawn copies zero bytes" 0 (bytes () - b0);
     (* the child aliases the parent's persistent states outright *)
-    check_bool "text state shared" (Mtext.get ws nk_text == Mtext.get child nk_text);
+    check_bool "text state shared" (Mtext.state ws nk_text == Mtext.state child nk_text);
     check_bool "list state shared" (Mlist.get ws nk_list == Mlist.get child nk_list);
     check_bool "tree state shared" (Mtree.get ws nk_tree == Mtree.get child nk_tree)
   end
@@ -308,7 +308,7 @@ let copy_state_laws () =
   in
   law "counter" (module Mcounter.Data) 41 ~fresh:false;
   law "register" (module Mreg.Data) "reg" ~fresh:false;
-  law "text" (module Mtext.Data) "abcdef" ~fresh:true;
+  law "text" (module Mtext.Data) (Sm_ot.Op_text.of_string "abcdef") ~fresh:true;
   law "list" (module Mlist.Data) [ 1; 2 ] ~fresh:true;
   law "queue" (module Mq.Data) [ 3 ] ~fresh:true;
   law "stack" (module Mstk.Data) [ 4 ] ~fresh:true;
@@ -316,7 +316,8 @@ let copy_state_laws () =
   law "map" (module Mmap.Data) Mmap.Op.Key_map.(add "a" 1 empty) ~fresh:true;
   law "tree" (module Mtree.Data) [ Mtree.Op.leaf "x" ] ~fresh:true;
   check_bool "text size tracks content"
-    (Mtext.Data.state_size (String.make 1000 'x') > Mtext.Data.state_size "x")
+    (Mtext.Data.state_size (Sm_ot.Op_text.of_string (String.make 1000 'x'))
+    > Mtext.Data.state_size (Sm_ot.Op_text.of_string "x"))
 
 (* the full merge pipeline digests identically under both representations *)
 let cow_equivalence =
